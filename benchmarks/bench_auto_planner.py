@@ -1,0 +1,62 @@
+"""ABL-AUTO -- per-query scan/index decisions (Section 6 operationalized).
+
+The paper derives the scan/index crossover analytically and leaves the
+choice to the DBA.  The cost-based planner makes it per query from the
+similarity distribution and the plan's capture model.  A good planner
+should track ``min(index, scan)`` across the whole range spectrum.
+
+Shape to confirm: auto's average simulated cost is within a small
+factor of the per-range best of the two fixed strategies, and strictly
+better than each fixed strategy somewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.data.weblog import make_set1
+from repro.eval.report import format_table
+
+RANGES = [(0.0, 0.3), (0.0, 0.7), (0.2, 0.6), (0.4, 1.0), (0.6, 1.0), (0.8, 1.0)]
+
+
+def test_auto_planner(benchmark, emit, scale):
+    sets = make_set1(min(scale.n_sets, 1200), seed=81)
+
+    def run():
+        index = SetSimilarityIndex.build(
+            sets, budget=300, recall_target=0.85, k=scale.k, seed=9,
+            sample_pairs=60_000,
+        )
+        rng = np.random.default_rng(1)
+        rows = []
+        for low, high in RANGES:
+            probes = [int(rng.integers(0, len(sets))) for _ in range(8)]
+            costs = {}
+            for strategy in ("index", "scan", "auto"):
+                costs[strategy] = float(
+                    np.mean(
+                        [
+                            index.query(sets[qi], low, high, strategy=strategy).total_time
+                            for qi in probes
+                        ]
+                    )
+                )
+            choice = index.planner().choose(low, high)
+            rows.append(
+                [f"[{low}, {high}]", costs["index"], costs["scan"], costs["auto"], choice]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ABL-AUTO",
+        format_table(
+            ["range", "index cost", "scan cost", "auto cost", "planner choice"], rows
+        ),
+    )
+    for label, index_cost, scan_cost, auto_cost, _choice in rows:
+        assert auto_cost <= min(index_cost, scan_cost) * 1.25, label
+    # The decision must actually flip somewhere across the spectrum.
+    choices = {row[4] for row in rows}
+    assert choices == {"index", "scan"}

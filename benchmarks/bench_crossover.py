@@ -1,0 +1,47 @@
+"""XOVER -- Section 6's analytic crossover claim.
+
+The paper estimates the index pays off while the query result size
+stays under roughly ``N * a / rtn`` sets (a = pages per set, rtn = 8),
+~23-25% of their collections.  This bench sweeps measured result-size
+fractions and reports where the scan starts winning, next to the
+analytic prediction for *our* page geometry.
+
+Paper shape to reproduce: index wins at small fractions, scan wins at
+large ones, with a crossover in the same order of magnitude as the
+``a / rtn`` prediction.
+"""
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, run_crossover
+
+
+@pytest.fixture(scope="module")
+def config(scale):
+    return ExperimentConfig(
+        n_sets=scale.n_sets,
+        budget=500,
+        n_queries=scale.n_queries,
+        sample_pairs=scale.sample_pairs,
+        k=scale.k,
+    )
+
+
+def test_crossover(benchmark, config, emit):
+    result = benchmark.pedantic(
+        run_crossover, args=("set1", config), rounds=1, iterations=1
+    )
+    measured = result.measured_crossover()
+    emit(
+        "XOVER",
+        result.table()
+        + f"\npredicted crossover fraction (a/rtn): {result.predicted_fraction:.3f}"
+        + f"\nmeasured crossover fraction: "
+        + (f"{measured:.3f}" if measured is not None else "not reached (index always wins)"),
+    )
+    assert result.rows, "no queries were binned"
+    # Index must win somewhere at the small end...
+    assert result.rows[0][2] < result.rows[0][1]
+    # ...and index cost must grow with result fraction.
+    index_times = [row[2] for row in result.rows]
+    assert index_times[-1] > index_times[0]

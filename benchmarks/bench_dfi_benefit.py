@@ -1,0 +1,34 @@
+"""ABL-DFI -- Section 4.2's motivation for the Dissimilarity Filter
+Index: low-similarity range queries without DFIs degenerate into
+"everything minus SimVector", paying the whole collection.
+
+Shape to reproduce: on ``[0, sigma]`` queries at the plan's DFI point,
+the DFI-equipped index touches no more candidates (and no more
+simulated time) than an SFI-only index with the same table budget, at
+comparable recall.
+"""
+
+from repro.eval.experiments import ExperimentConfig, run_dfi_benefit
+
+
+def test_dfi_benefit(benchmark, emit, scale):
+    config = ExperimentConfig(
+        n_sets=min(scale.n_sets, 1500),
+        budget=300,
+        n_queries=40,
+        sample_pairs=scale.sample_pairs,
+        k=scale.k,
+    )
+    result = benchmark.pedantic(
+        run_dfi_benefit,
+        args=("set1", config),
+        kwargs={"n_queries": 40},
+        rounds=1,
+        iterations=1,
+    )
+    emit("ABL-DFI", result.table())
+    by_name = {row[0]: row for row in result.rows}
+    with_dfi, sfi_only = by_name["with DFIs"], by_name["SFI only"]
+    # (label, avg candidates, avg recall, avg index time)
+    assert with_dfi[1] <= sfi_only[1] * 1.05
+    assert with_dfi[3] <= sfi_only[3] * 1.05

@@ -1,0 +1,71 @@
+"""FIG6A -- paper Fig. 6(a): precision & recall per result-size bucket,
+hash-table budget 500, both datasets.
+
+Paper shape to reproduce: the construction-time recall goal (~0.9
+average) is met, and precision decreases as result size grows (big
+results come from low-similarity ranges, where the similarity
+distribution is densest and the filters least selective).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.queries import QueryWorkload
+from repro.eval.experiments import ExperimentConfig, build_harness, run_fig6
+
+BUDGET = 500
+
+
+@pytest.fixture(scope="module")
+def config(scale):
+    return ExperimentConfig(
+        n_sets=scale.n_sets,
+        budget=BUDGET,
+        n_queries=scale.n_queries,
+        sample_pairs=scale.sample_pairs,
+        k=scale.k,
+    )
+
+
+def test_fig6a(benchmark, config, emit):
+    result = benchmark.pedantic(
+        run_fig6, args=(config,), kwargs={"budget": BUDGET}, rounds=1, iterations=1
+    )
+    from repro.eval.plots import fig6_ascii
+
+    bars = "\n\n".join(
+        f"[{name}]\n{fig6_ascii(buckets)}" for name, buckets in result.summaries.items()
+    )
+    emit(
+        "FIG6A",
+        result.table()
+        + "\nexpected (construction-time) recall: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in result.expected_recall.items())
+        + "\n\n" + bars,
+    )
+    for name, buckets in result.summaries.items():
+        populated = [s for s in buckets if s.n_queries > 0]
+        assert populated, f"{name}: no bucket received queries"
+        for s in populated:
+            assert 0.0 <= s.recall <= 1.0
+            assert 0.0 <= s.precision <= 1.0
+        # Paper shape: recall holds up across buckets on average.
+        weighted = np.average(
+            [s.recall for s in populated], weights=[s.n_queries for s in populated]
+        )
+        assert weighted > 0.7
+
+
+def test_fig6a_query_kernel(benchmark, config):
+    """Wall-clock of one indexed range query at the Fig. 6(a) setup."""
+    harness = build_harness("set1", config)
+    queries = QueryWorkload(len(harness.sets), seed=99).sample(10)
+    sets = harness.sets
+    state = {"i": 0}
+
+    def run_one():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return harness.index.query(sets[q.set_index], q.sigma_low, q.sigma_high)
+
+    benchmark(run_one)

@@ -1,0 +1,51 @@
+"""FIG7A -- paper Fig. 7(a): average response time per result-size
+bucket, sequential scan vs the index (I/O and CPU split out), Set1,
+1000-table budget, k = 100 min-hash values.
+
+Paper shape to reproduce: the index beats the scan for every bucket
+with result size under ~25% of the collection; index time grows with
+result size (more candidates, more random fetches) while scan time is
+flat; scan CPU is a visible fraction of scan cost (it evaluates the
+similarity of every set).
+"""
+
+import math
+
+import pytest
+
+from repro.eval.experiments import ExperimentConfig, run_fig7
+
+BUDGET = 1000
+
+
+@pytest.fixture(scope="module")
+def config(scale):
+    return ExperimentConfig(
+        n_sets=scale.n_sets,
+        budget=BUDGET,
+        n_queries=scale.n_queries,
+        sample_pairs=scale.sample_pairs,
+        k=scale.k,
+    )
+
+
+def test_fig7a(benchmark, config, emit):
+    result = benchmark.pedantic(
+        run_fig7, args=("set1", config), kwargs={"budget": BUDGET}, rounds=1, iterations=1
+    )
+    from repro.eval.plots import fig7_ascii
+
+    emit("FIG7A", result.table() + "\n\n" + fig7_ascii(result.summaries))
+    populated = [s for s in result.summaries if s.n_queries > 0]
+    assert populated
+    # Scan time is flat across buckets.
+    scans = [s.scan_time for s in populated]
+    assert max(scans) / min(scans) < 1.2
+    # The smallest populated bucket is where the index must win.
+    smallest = populated[0]
+    assert smallest.index_time < smallest.scan_time
+    # Index time grows with result size.
+    if len(populated) >= 2:
+        assert populated[-1].index_time > populated[0].index_time
+    for s in populated:
+        assert not math.isnan(s.index_io_time)

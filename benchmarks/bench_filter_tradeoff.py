@@ -1,0 +1,35 @@
+"""ABL-RL -- the Section 4.1 accuracy/space trade-off of p_{r,l}.
+
+For a fixed turning point, increasing the number of hash tables ``l``
+forces a larger ``r`` and a steeper filter: expected false positives
+and negatives (Definitions 6-7, integrated against the dataset's
+similarity distribution) fall with diminishing returns.
+
+Paper shape to reproduce: total expected error decreases monotonically
+(up to integer-r jitter) as l grows; r grows with l.
+"""
+
+from repro.eval.experiments import run_filter_tradeoff
+
+
+def test_filter_tradeoff(benchmark, emit, scale):
+    result = benchmark.pedantic(
+        run_filter_tradeoff,
+        kwargs={
+            "dataset": "set1",
+            "n_sets": min(scale.n_sets, 1500),
+            "threshold": 0.5,
+            "l_values": (1, 2, 5, 10, 20, 50, 100, 200, 500),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit("ABL-RL", result.table())
+    errors = [row[4] for row in result.rows]
+    rs = [row[1] for row in result.rows]
+    assert errors[-1] < errors[0] * 0.9
+    assert rs == sorted(rs)
+    # Diminishing returns: the last doubling helps less than the first.
+    first_gain = errors[0] - errors[1]
+    last_gain = errors[-2] - errors[-1]
+    assert last_gain < first_gain

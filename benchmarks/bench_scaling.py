@@ -1,0 +1,54 @@
+"""ABL-SCALE -- cost scaling with collection size.
+
+The paper's headline economics: scan cost grows linearly with the
+collection while the index's cost for a fixed-selectivity query grows
+only with its (proportionally sized) answer -- so at any fixed result
+*fraction*, both grow linearly, but the index's slope is smaller below
+the crossover; and for fixed-size answers (e.g. a user's near
+neighbours) index cost is nearly flat.
+
+Shape to confirm: simulated scan cost ~ N; simulated index cost for
+high-similarity queries grows much more slowly than the scan's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.data.weblog import make_weblog_collection
+from repro.eval.report import format_table
+
+SIZES = (400, 800, 1600)
+
+
+def test_scaling(benchmark, emit, scale):
+    def run():
+        rows = []
+        for n in SIZES:
+            sets = make_weblog_collection(n_sets=n, seed=101)
+            index = SetSimilarityIndex.build(
+                sets, budget=150, recall_target=0.85, k=min(scale.k, 64),
+                seed=11, sample_pairs=50_000,
+            )
+            rng = np.random.default_rng(2)
+            index_costs, scan_costs = [], []
+            for _ in range(8):
+                q = sets[int(rng.integers(0, n))]
+                index_costs.append(index.query(q, 0.6, 1.0).total_time)
+                scan_costs.append(index.query(q, 0.6, 1.0, strategy="scan").total_time)
+            rows.append(
+                [n, float(np.mean(index_costs)), float(np.mean(scan_costs))]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ABL-SCALE",
+        format_table(["n sets", "index cost (>=0.6 query)", "scan cost"], rows),
+    )
+    # Scan grows roughly linearly with N.
+    assert rows[-1][2] / rows[0][2] > 0.6 * (SIZES[-1] / SIZES[0])
+    # Index for high-similarity queries grows far more slowly.
+    index_growth = rows[-1][1] / rows[0][1]
+    scan_growth = rows[-1][2] / rows[0][2]
+    assert index_growth < scan_growth

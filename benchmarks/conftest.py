@@ -1,0 +1,66 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one evaluation artifact of the paper
+(see DESIGN.md's experiment index): it runs the corresponding driver
+from :mod:`repro.eval.experiments`, prints the resulting table (visible
+in ``pytest benchmarks/ --benchmark-only`` output), writes it under
+``benchmarks/results/`` and feeds a representative kernel to
+pytest-benchmark for wall-clock numbers.
+
+Scale: the paper used 200,000-set collections and 1,000 queries per
+bucket on a 2001 testbed.  Defaults here are laptop-scale (see
+``BenchScale``); set ``REPRO_BENCH_SCALE=large`` for a heavier run.
+Response "time" inside the tables is simulated I/O cost (the shared
+cost model with random/sequential = 8), so the *shape* of every figure
+is scale-stable; pytest-benchmark adds real wall-clock per kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    n_sets: int
+    n_queries: int
+    sample_pairs: int
+    k: int
+
+
+_SCALES = {
+    "small": BenchScale(n_sets=1200, n_queries=120, sample_pairs=60_000, k=64),
+    # Probe cost is budget-sized while scan cost is collection-sized;
+    # n_sets must sit comfortably above the table budget (1000 in the
+    # Fig. 7 setup) for the paper's crossover shape to be visible.
+    "default": BenchScale(n_sets=3000, n_queries=150, sample_pairs=100_000, k=100),
+    "large": BenchScale(n_sets=6000, n_queries=300, sample_pairs=200_000, k=100),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+@pytest.fixture
+def emit(capfd):
+    """Print a result table past pytest's capture and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, text: str) -> None:
+        block = f"\n=== {experiment_id} ===\n{text}\n"
+        with capfd.disabled():
+            print(block)
+        (RESULTS_DIR / f"{experiment_id}.txt").write_text(block)
+
+    return _emit

@@ -1,0 +1,76 @@
+"""A tour of the index's tuning knobs (the "tunable" in the title).
+
+Walks the space the Section 5 optimizer navigates, on one dataset:
+
+1. the space/accuracy trade: hash-table budget vs expected precision
+   at a fixed recall floor;
+2. the recall dial: higher floors force fewer intervals (coarser
+   enclosing ranges -> more candidates);
+3. the maintenance loop: drift detection and rebuild after the
+   workload changes.
+
+Run:  python examples/tuning_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SetSimilarityIndex
+from repro.core.maintenance import MaintenanceAdvisor, rebuild
+from repro.data import make_weblog_collection, uniform_random_sets
+
+
+def main() -> None:
+    sets = make_weblog_collection(n_sets=600, seed=33)
+    print(f"dataset: {len(sets)} synthetic web sessions\n")
+
+    # --- 1. budget sweep ---------------------------------------------------
+    print("budget -> intervals, expected recall / precision")
+    for budget in (50, 150, 400):
+        index = SetSimilarityIndex.build(
+            sets, budget=budget, recall_target=0.9, k=64, seed=1, sample_pairs=40_000
+        )
+        plan = index.plan
+        print(
+            f"  {budget:4d} tables: {plan.n_intervals:2d} intervals, "
+            f"recall {plan.expected_recall:.3f}, precision {plan.expected_precision:.3f}"
+        )
+
+    # --- 2. recall floor sweep ----------------------------------------------
+    print("\nrecall floor -> plan shape (same 150-table budget)")
+    for target in (0.80, 0.90, 0.97):
+        index = SetSimilarityIndex.build(
+            sets, budget=150, recall_target=target, k=64, seed=1, sample_pairs=40_000
+        )
+        plan = index.plan
+        met = "met" if plan.met_target else "NOT met"
+        print(
+            f"  floor {target:.2f}: {plan.n_intervals:2d} intervals, "
+            f"achieved {plan.expected_recall:.3f} ({met}), "
+            f"precision {plan.expected_precision:.3f}"
+        )
+
+    # --- 3. drift and rebuild ------------------------------------------------
+    index = SetSimilarityIndex.build(
+        sets, budget=150, recall_target=0.9, k=64, seed=1, sample_pairs=40_000
+    )
+    advisor = MaintenanceAdvisor(index, churn_threshold=0.2, drift_threshold=0.05)
+    print(f"\nfresh index: {advisor.check().reason}")
+
+    flood = uniform_random_sets(200, universe=100_000, set_size=60, seed=34)
+    for s in flood:
+        index.insert(s)
+    report = advisor.check(seed=2)
+    print(f"after flooding with 200 unrelated sets: {report.reason}")
+    if report.should_rebuild:
+        fresh = rebuild(index, recall_target=0.9, seed=3)
+        print(
+            f"rebuilt: {fresh.plan.n_intervals} intervals "
+            f"(was {index.plan.n_intervals}), "
+            f"expected recall {fresh.plan.expected_recall:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

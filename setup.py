@@ -1,0 +1,21 @@
+"""Setup shim for environments without the `wheel` package.
+
+Project metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` can take the legacy `setup.py develop` path when
+PEP 660 editable builds are unavailable offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Efficient and Tunable Similar Set Retrieval' "
+        "(Gionis, Gunopulos, Koudas; SIGMOD 2001)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=2.0"],
+)

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against (or warns against).
+
+* :mod:`repro.baselines.sequential_scan` -- the default evaluation
+  strategy of Section 6: read the whole collection sequentially and
+  verify each set.  Exact, with cost linear in collection size.
+* :mod:`repro.baselines.inverted_index` -- an exact element-based
+  inverted index; not in the paper, but the natural exact competitor
+  and the ground-truth oracle for large experiments.
+* :mod:`repro.baselines.naive_embedding` -- the strawman of Example 1:
+  concatenating raw binary min-hash values distorts similarity, which
+  is precisely why the error-correcting code exists.
+* :mod:`repro.baselines.signature_file` -- the superimposed-coding
+  signature file of the related work (Section 7): scan-only, no
+  accuracy guarantee.
+"""
+
+from repro.baselines.banding_lsh import BandingIndex
+from repro.baselines.inverted_index import InvertedIndex
+from repro.baselines.naive_embedding import NaiveBinaryEmbedder, embedding_distortion
+from repro.baselines.sequential_scan import SequentialScan
+from repro.baselines.signature_file import SignatureFile
+
+__all__ = [
+    "BandingIndex",
+    "InvertedIndex",
+    "NaiveBinaryEmbedder",
+    "SequentialScan",
+    "SignatureFile",
+    "embedding_distortion",
+]

@@ -1,0 +1,136 @@
+"""Superimposed-coding signature file (Section 7's related work).
+
+"Signature based techniques [Fal85] have been applied to the problem of
+retrieving subsets of a given set in a large collection of sets
+[Y1093].  Such techniques are based on an encoding via hashing of sets
+which is subsequently maintained as a file and scanned in its entirety
+to answer a query.  No indexing mechanism is provided."
+
+This module implements that classic competitor so its behaviour can be
+contrasted with the paper's filter indices:
+
+* each set is encoded as an ``f``-bit signature by OR-ing ``w`` hashed
+  bit positions per element (superimposed coding);
+* a *subset* query scans every signature and keeps those containing all
+  of the query signature's bits -- no false negatives, data-dependent
+  false positives, and always a full sequential scan;
+* a crude *similarity* screen compares bit-overlap fractions; unlike
+  the min-hash embedding it carries no unbiasedness guarantee, which
+  is exactly the paper's criticism ("cannot provide any form of
+  guarantee on their accuracy").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.minhash import stable_element_hash
+from repro.storage.iomodel import IOCostModel
+
+
+def _element_positions(element, f: int, w: int) -> np.ndarray:
+    """The ``w`` signature bit positions an element sets (stable)."""
+    base = stable_element_hash(element)
+    positions = np.empty(w, dtype=np.int64)
+    for i in range(w):
+        digest = hashlib.blake2b(
+            base.to_bytes(8, "little") + i.to_bytes(2, "little"), digest_size=8
+        ).digest()
+        positions[i] = int.from_bytes(digest, "little") % f
+    return positions
+
+
+class SignatureFile:
+    """A scan-only signature file over a set collection.
+
+    Parameters
+    ----------
+    f:
+        Signature length in bits.
+    w:
+        Bits set per element (the weight of superimposed coding).
+    io:
+        Optional shared cost model; queries charge one sequential page
+        read per page of signatures scanned.
+    """
+
+    def __init__(self, f: int = 512, w: int = 4, io: IOCostModel | None = None):
+        if f <= 0 or w <= 0:
+            raise ValueError(f"f and w must be positive, got f={f}, w={w}")
+        self.f = f
+        self.w = w
+        self.io = io if io is not None else IOCostModel()
+        self._signatures: list[np.ndarray] = []
+        self._n_words = (f + 63) // 64
+        self._signature_bytes = self._n_words * 8
+        self._page_size = 4096
+
+    def encode(self, elements: Iterable) -> np.ndarray:
+        """Superimposed signature of one set (packed uint64)."""
+        signature = np.zeros(self._n_words, dtype=np.uint64)
+        for element in elements:
+            for position in _element_positions(element, self.f, self.w):
+                signature[position // 64] |= np.uint64(1) << np.uint64(position % 64)
+        return signature
+
+    def insert(self, elements: Iterable) -> int:
+        """Append a set's signature; returns its sid (= position)."""
+        self._signatures.append(self.encode(elements))
+        return len(self._signatures) - 1
+
+    def insert_many(self, sets: Sequence[Iterable]) -> list[int]:
+        """Append many sets; returns their sids in order."""
+        return [self.insert(s) for s in sets]
+
+    @property
+    def n_sets(self) -> int:
+        """Number of stored signatures."""
+        return len(self._signatures)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages the signature file occupies (the per-query scan cost)."""
+        per_page = max(1, self._page_size // self._signature_bytes)
+        return -(-len(self._signatures) // per_page)
+
+    def _charge_scan(self) -> None:
+        self.io.read_sequential(self.n_pages)
+
+    def subset_candidates(self, elements: Iterable) -> list[int]:
+        """Sids possibly containing the query as a subset.
+
+        Superimposed coding guarantees no false negatives: if
+        ``query <= stored`` then every query bit is set in the stored
+        signature.  False positives must be verified by the caller.
+        """
+        query = self.encode(elements)
+        self._charge_scan()
+        hits = []
+        for sid, signature in enumerate(self._signatures):
+            if np.all((signature & query) == query):
+                hits.append(sid)
+        return hits
+
+    def similarity_screen(self, elements: Iterable, threshold: float) -> list[int]:
+        """Sids whose signature bit-overlap fraction reaches ``threshold``.
+
+        The overlap fraction ``|sig_a & sig_b| / |sig_a | sig_b|`` is a
+        Jaccard-like heuristic with *no* unbiasedness guarantee --
+        superimposition makes popular bit positions collide, so the
+        screen can both over- and under-estimate (the accuracy critique
+        of Section 7).  Always scans the whole file.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        query = self.encode(elements)
+        self._charge_scan()
+        hits = []
+        for sid, signature in enumerate(self._signatures):
+            inter = int(np.bitwise_count(signature & query).sum())
+            union = int(np.bitwise_count(signature | query).sum())
+            if union == 0 or inter / union >= threshold:
+                hits.append(sid)
+        return hits

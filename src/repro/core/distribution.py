@@ -1,0 +1,191 @@
+"""The pairwise similarity distribution ``D_S`` (Section 5).
+
+``D_S(s)`` counts, for every similarity value ``s``, the number of set
+pairs in the collection that are ``s``-similar.  The optimizer needs it
+to quantify expected false positives/negatives (Definitions 6-7), to
+place filter indices equidepth (Definition 10 / Lemma 4) and to split
+the similarity axis between DFIs and SFIs (Equation 15).
+
+Computing ``D_S`` exactly takes all ``N(N-1)/2`` pairwise similarities;
+Lemma 1 observes a size-``b`` random sample of those pairs can be drawn
+in one pass and suffices.  Both paths are provided; the sampled
+histogram is scaled up to total-pair mass so the downstream integrals
+keep their meaning as expected set counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.minhash import MinHasher
+from repro.core.similarity import jaccard
+
+
+def sample_pairwise_similarities(
+    sets: Sequence[frozenset],
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A uniform random sample of pairwise Jaccard similarities (Lemma 1).
+
+    Pairs ``(i, j)``, ``i < j``, are drawn uniformly with replacement;
+    with in-memory sets one pass over the data is trivially enough,
+    which is the point of the lemma for disk-resident collections.
+    """
+    n = len(sets)
+    if n < 2:
+        return np.empty(0, dtype=np.float64)
+    i = rng.integers(0, n, size=n_samples)
+    j = rng.integers(0, n - 1, size=n_samples)
+    j = np.where(j >= i, j + 1, j)  # j != i, uniform over the rest
+    return np.fromiter(
+        (jaccard(sets[a], sets[b]) for a, b in zip(i, j)),
+        dtype=np.float64,
+        count=n_samples,
+    )
+
+
+def signature_pairwise_similarities(
+    signatures: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Like :func:`sample_pairwise_similarities` but estimated from
+    min-hash signatures -- each sample costs ``O(k)`` instead of a full
+    set intersection."""
+    n = signatures.shape[0]
+    if n < 2:
+        return np.empty(0, dtype=np.float64)
+    i = rng.integers(0, n, size=n_samples)
+    j = rng.integers(0, n - 1, size=n_samples)
+    j = np.where(j >= i, j + 1, j)
+    return (signatures[i] == signatures[j]).mean(axis=1)
+
+
+class SimilarityDistribution:
+    """Histogram form of ``D_S`` over ``n_bins`` equal-width bins of [0, 1].
+
+    ``mass[i]`` is the (possibly estimated) number of set pairs whose
+    similarity falls in bin ``i``; ``sum(mass) == N(N-1)/2``.
+    """
+
+    def __init__(self, mass: np.ndarray, n_sets: int):
+        mass = np.asarray(mass, dtype=np.float64)
+        if mass.ndim != 1 or mass.size == 0:
+            raise ValueError("mass must be a non-empty 1-d array")
+        if np.any(mass < 0):
+            raise ValueError("mass must be non-negative")
+        self.mass = mass
+        self.n_sets = n_sets
+        self.n_bins = mass.size
+        self.edges = np.linspace(0.0, 1.0, self.n_bins + 1)
+        self.centers = (self.edges[:-1] + self.edges[1:]) / 2.0
+        self._cumulative = np.concatenate(([0.0], np.cumsum(mass)))
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Sequence[Iterable],
+        n_bins: int = 100,
+        sample_pairs: int | None = None,
+        seed: int = 0,
+        hasher: MinHasher | None = None,
+    ) -> "SimilarityDistribution":
+        """Estimate ``D_S`` from a collection.
+
+        Parameters
+        ----------
+        sample_pairs:
+            If set (and smaller than the number of pairs), estimate
+            from that many sampled pairs per Lemma 1; otherwise compute
+            all pairwise similarities exactly.
+        hasher:
+            If given, sampled similarities are estimated from min-hash
+            signatures instead of exact intersections (cheaper for
+            large sets, with the estimator's sampling error).
+        """
+        sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
+        n = len(sets)
+        total_pairs = n * (n - 1) // 2
+        if total_pairs == 0:
+            return cls(np.zeros(n_bins), n)
+        rng = np.random.default_rng(seed)
+        if sample_pairs is not None and sample_pairs < total_pairs:
+            if hasher is not None:
+                signatures = hasher.signature_matrix(sets)
+                values = signature_pairwise_similarities(signatures, sample_pairs, rng)
+            else:
+                values = sample_pairwise_similarities(sets, sample_pairs, rng)
+            scale = total_pairs / len(values)
+        else:
+            values = np.fromiter(
+                (
+                    jaccard(sets[i], sets[j])
+                    for i in range(n)
+                    for j in range(i + 1, n)
+                ),
+                dtype=np.float64,
+                count=total_pairs,
+            )
+            scale = 1.0
+        counts, _ = np.histogram(values, bins=n_bins, range=(0.0, 1.0))
+        return cls(counts.astype(np.float64) * scale, n)
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, n_sets: int, n_bins: int = 100
+    ) -> "SimilarityDistribution":
+        """Build directly from similarity values (mass = sample counts)."""
+        counts, _ = np.histogram(
+            np.asarray(values, dtype=np.float64), bins=n_bins, range=(0.0, 1.0)
+        )
+        return cls(counts.astype(np.float64), n_sets)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def total_mass(self) -> float:
+        """Total pair count represented: ``~ N(N-1)/2``."""
+        return float(self._cumulative[-1])
+
+    def mass_between(self, lo: float, hi: float) -> float:
+        """``integral_lo^hi D_S(s) ds`` with linear within-bin interpolation."""
+        if hi < lo:
+            raise ValueError(f"invalid interval [{lo}, {hi}]")
+        return self._cdf(hi) - self._cdf(lo)
+
+    def _cdf(self, s: float) -> float:
+        s = min(1.0, max(0.0, s))
+        position = s * self.n_bins
+        index = min(self.n_bins - 1, int(position))
+        fraction = position - index
+        return float(self._cumulative[index] + fraction * self.mass[index])
+
+    def quantile(self, q: float) -> float:
+        """Similarity value below which a ``q`` fraction of pair mass lies."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        target = q * self.total_mass
+        index = int(np.searchsorted(self._cumulative, target, side="left"))
+        index = min(max(index - 1, 0), self.n_bins - 1)
+        below = self._cumulative[index]
+        bin_mass = self.mass[index]
+        fraction = 0.0 if bin_mass == 0 else (target - below) / bin_mass
+        fraction = min(1.0, max(0.0, fraction))
+        return float(self.edges[index] + fraction * (self.edges[index + 1] - self.edges[index]))
+
+    def equidepth_points(self, n_intervals: int) -> list[float]:
+        """Interior cut points of a ``n_intervals``-wise equidepth
+        decomposition (Definition 10): ``n_intervals - 1`` points that
+        split the pair mass into equal parts."""
+        if n_intervals < 1:
+            raise ValueError(f"n_intervals must be >= 1, got {n_intervals}")
+        return [self.quantile(i / n_intervals) for i in range(1, n_intervals)]
+
+    def delta_split(self) -> float:
+        """The ``delta`` of Equation 15: equal pair mass on either side."""
+        return self.quantile(0.5)

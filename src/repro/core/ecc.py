@@ -1,0 +1,106 @@
+"""Error-correcting code for the Hamming embedding (Section 3.2).
+
+Theorem 1 needs a code in which *every* pair of distinct codewords is
+at Hamming distance exactly ``m/2``: then agreement between two
+embedded min-hash values contributes all ``m`` bits when the values are
+equal and exactly ``m/2`` bits when they differ, turning expected
+signature agreement ``s`` into expected Hamming similarity
+``(1 + s) / 2`` with no further distortion.
+
+The paper points to simplex codes.  We use the equivalent *Hadamard
+code*: the ``b``-bit value ``v`` maps to the codeword
+
+    c_v(x) = <v, x> mod 2,   x = 0 .. 2**b - 1,
+
+i.e. row ``v`` of the ``2**b x 2**b`` binary inner-product matrix.  For
+``u != v``, ``c_u xor c_v = c_{u xor v}`` is a nonzero linear
+functional over GF(2)^b, which is balanced -- it is 1 on exactly half
+of all ``x``.  Hence every pair of distinct codewords differs in
+exactly ``2**(b-1) = m/2`` positions.  (This is the simplex code of
+length ``2**b - 1`` augmented with the always-zero coordinate ``x = 0``,
+which leaves the pairwise distance untouched while making ``m`` a power
+of two that packs evenly into 64-bit words.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hamming.bitvector import pack_bits
+
+
+class HadamardCode:
+    """The ``[2**b, b]`` binary Hadamard code with distance exactly ``m/2``.
+
+    Parameters
+    ----------
+    b:
+        Message length in bits.  Codewords have length ``m = 2**b``.
+        ``b`` up to 16 is supported (the codeword table is ``2**b`` rows
+        of ``2**b`` bits; b=16 is already 512 MiB and far beyond what
+        the index needs).
+    """
+
+    MAX_B = 16
+
+    def __init__(self, b: int):
+        if not 1 <= b <= self.MAX_B:
+            raise ValueError(f"b must be in [1, {self.MAX_B}], got {b}")
+        self.b = b
+        self.m = 1 << b
+        x = np.arange(self.m, dtype=np.uint64)
+        v = np.arange(self.m, dtype=np.uint64)
+        # bits[v, x] = parity(v & x): row v is codeword c_v.
+        products = v[:, np.newaxis] & x[np.newaxis, :]
+        bits = (np.bitwise_count(products) & 1).astype(np.uint8)
+        #: Unpacked codeword table, shape (2**b, m) of 0/1.
+        self.table_bits = bits
+        #: Packed codeword table, shape (2**b, m // 64) for m >= 64.
+        self.table_packed = pack_bits(bits)
+
+    @property
+    def n_codewords(self) -> int:
+        """Number of codewords: one per ``b``-bit message, ``2**b``."""
+        return self.m
+
+    @property
+    def distance(self) -> int:
+        """Pairwise distance of distinct codewords: exactly ``m / 2``."""
+        return self.m // 2
+
+    def encode_bits(self, values: np.ndarray) -> np.ndarray:
+        """Codewords of ``values`` as unpacked bits, shape ``(k, m)``.
+
+        Values are reduced modulo ``2**b`` -- this is the paper's fixed
+        precision step applied to raw min-hash values.
+        """
+        values = np.asarray(values, dtype=np.uint64) % np.uint64(self.m)
+        return self.table_bits[values.astype(np.int64)]
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Concatenated packed codewords of a value vector.
+
+        For a length-``k`` input the result is the packed form of the
+        ``k * m``-bit string ``ecc(v_1) ecc(v_2) ... ecc(v_k)`` used by
+        the embedding ``h(V)`` of Section 3.2.
+        """
+        values = np.asarray(values, dtype=np.uint64) % np.uint64(self.m)
+        if self.m >= 64:
+            # Codeword boundaries align with word boundaries: concatenating
+            # packed codewords is just row concatenation.
+            return self.table_packed[values.astype(np.int64)].reshape(-1)
+        bits = self.table_bits[values.astype(np.int64)].reshape(-1)
+        return pack_bits(bits)
+
+    def encode_many(self, value_matrix: np.ndarray) -> np.ndarray:
+        """Encode many value vectors at once: ``(N, k) -> (N, k*m/64)``."""
+        value_matrix = np.asarray(value_matrix, dtype=np.uint64) % np.uint64(self.m)
+        n, k = value_matrix.shape
+        if self.m >= 64:
+            packed = self.table_packed[value_matrix.astype(np.int64)]
+            return packed.reshape(n, -1)
+        bits = self.table_bits[value_matrix.astype(np.int64)].reshape(n, -1)
+        return pack_bits(bits)
+
+    def __repr__(self) -> str:
+        return f"HadamardCode(b={self.b}, m={self.m})"

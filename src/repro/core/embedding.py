@@ -1,0 +1,112 @@
+"""Set -> Hamming-space embedding (Sections 3.1 + 3.2, Theorem 1).
+
+Composes the two embeddings of the paper:
+
+1. ``S -> V``: a set becomes its length-``k`` min-hash signature.
+2. ``V -> H``: each ``b``-bit (fixed-precision) min-hash value is
+   encoded with the Hadamard code; the concatenation is a packed
+   ``D = m * k``-bit vector.
+
+For two sets of Jaccard similarity ``s``, the expected fraction of
+agreeing signature coordinates is ``s``; agreeing coordinates share all
+``m`` codeword bits, disagreeing ones share exactly ``m/2``.  Hence
+(Theorem 1) the expected Hamming distance is ``(1 - s)/2 * D`` and the
+expected Hamming similarity ``(1 + s) / 2``.
+
+Reducing min-hash values to ``b`` bits makes *unequal* values collide
+with probability about ``2**-b``, adding roughly ``(1 - s) / 2**b`` of
+spurious agreement.  With the default ``b = 6`` that bias is under
+1.6% of the disagreeing mass; :func:`jaccard_to_hamming` optionally
+models it so analytic predictions match measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.ecc import HadamardCode
+from repro.core.minhash import MinHasher
+
+
+def jaccard_to_hamming(s: float, b: int | None = None) -> float:
+    """Expected Hamming similarity of the embeddings of ``s``-similar sets.
+
+    With ``b`` given, includes the fixed-precision collision bias: a
+    disagreeing coordinate still matches with probability ``2**-b``.
+    """
+    if b is None:
+        return (1.0 + s) / 2.0
+    collide = 2.0 ** (-b)
+    agree = s + (1.0 - s) * collide
+    return (1.0 + agree) / 2.0
+
+
+def hamming_to_jaccard(s_h: float, b: int | None = None) -> float:
+    """Inverse of :func:`jaccard_to_hamming` (clipped to [0, 1])."""
+    agree = 2.0 * s_h - 1.0
+    if b is not None:
+        collide = 2.0 ** (-b)
+        agree = (agree - collide) / (1.0 - collide)
+    return float(min(1.0, max(0.0, agree)))
+
+
+class SetEmbedder:
+    """Embeds sets into a fixed-dimensional packed Hamming space.
+
+    Parameters
+    ----------
+    k:
+        Min-hash signature length.
+    b:
+        Bits of fixed precision per min-hash value; codewords have
+        length ``m = 2**b`` and embeddings ``D = m * k`` bits.
+    seed:
+        Determines the min-hash permutations.  Queries must be embedded
+        by an embedder with the same ``(k, b, seed)`` as the index.
+    """
+
+    def __init__(self, k: int = 100, b: int = 6, seed: int = 0):
+        self.hasher = MinHasher(k=k, seed=seed)
+        self.code = HadamardCode(b)
+        self.k = k
+        self.b = b
+        self.seed = seed
+
+    @property
+    def m(self) -> int:
+        """Codeword length per min-hash value."""
+        return self.code.m
+
+    @property
+    def dimension(self) -> int:
+        """Total embedded dimensionality ``D = m * k``."""
+        return self.code.m * self.k
+
+    @property
+    def n_words(self) -> int:
+        """Packed width of one embedded vector in uint64 words."""
+        return (self.dimension + 63) // 64
+
+    def signature(self, elements: Iterable) -> np.ndarray:
+        """The intermediate min-hash signature (space ``V``)."""
+        return self.hasher.signature(elements)
+
+    def embed(self, elements: Iterable) -> np.ndarray:
+        """Packed ``D``-bit embedding of one set (space ``H``)."""
+        return self.code.encode(self.hasher.signature(elements))
+
+    def embed_many(self, sets: Iterable[Iterable]) -> np.ndarray:
+        """Packed embeddings of many sets, shape ``(N, n_words)``."""
+        signatures = self.hasher.signature_matrix(sets)
+        if signatures.shape[0] == 0:
+            return np.empty((0, self.n_words), dtype=np.uint64)
+        return self.code.encode_many(signatures)
+
+    def embed_signature(self, signature: np.ndarray) -> np.ndarray:
+        """Embed an existing signature (useful when both are needed)."""
+        return self.code.encode(signature)
+
+    def __repr__(self) -> str:
+        return f"SetEmbedder(k={self.k}, b={self.b}, seed={self.seed}, D={self.dimension})"

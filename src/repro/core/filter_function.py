@@ -1,0 +1,109 @@
+"""The probabilistic filter function ``p_{r,l}(s)`` (Section 4.1).
+
+A Similarity Filter Index samples ``r`` bit positions per hash table
+and uses ``l`` tables.  Two vectors of Hamming similarity ``s`` land in
+the same bucket of at least one table with probability
+
+    p_{r,l}(s) = 1 - (1 - s**r) ** l                      (Equation 4)
+
+an S-shaped approximation of a unit step.  Choosing ``r`` for a given
+``l`` places the *turning point* -- the similarity at which the
+probability crosses 1/2 -- at the index's threshold ``s*``:
+
+    p_{r,l}(s*) = 1/2   =>   r = log(1 - 2**(-1/l)) / log(s*).
+
+Larger ``l`` permits larger ``r`` and hence a steeper, more accurate
+filter; that is the accuracy/space trade-off the optimizer of
+Section 5 allocates the hash-table budget against, guided by the
+expected false positives/negatives of Definitions 6 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def filter_probability(s, r: int, l: int):
+    """``p_{r,l}(s) = 1 - (1 - s^r)^l``; accepts scalars or arrays."""
+    if r <= 0 or l <= 0:
+        raise ValueError(f"r and l must be positive, got r={r}, l={l}")
+    s = np.clip(np.asarray(s, dtype=np.float64), 0.0, 1.0)
+    result = 1.0 - (1.0 - s**r) ** l
+    return float(result) if result.ndim == 0 else result
+
+
+def solve_r(s_star: float, l: int) -> int:
+    """Largest integer ``r >= 1`` with turning point at most ``s_star``.
+
+    From ``p_{r,l}(s*) = 1/2``: ``s*^r = 1 - 2^{-1/l}``.  We round the
+    real solution to the nearest integer (the turning point moves only
+    slightly) and clamp to at least 1.
+    """
+    if not 0.0 < s_star < 1.0:
+        raise ValueError(f"s_star must be in (0, 1), got {s_star}")
+    if l <= 0:
+        raise ValueError(f"l must be positive, got {l}")
+    target = 1.0 - 2.0 ** (-1.0 / l)
+    r = math.log(target) / math.log(s_star)
+    return max(1, round(r))
+
+
+def turning_point(r: int, l: int) -> float:
+    """The similarity at which ``p_{r,l}`` crosses 1/2."""
+    if r <= 0 or l <= 0:
+        raise ValueError(f"r and l must be positive, got r={r}, l={l}")
+    return (1.0 - 2.0 ** (-1.0 / l)) ** (1.0 / r)
+
+
+@dataclass(frozen=True)
+class FilterFunction:
+    """A concrete ``p_{r,l}`` with convenience methods.
+
+    Build one from a threshold with :meth:`for_threshold`, which picks
+    ``r`` so the turning point lands on the threshold.
+    """
+
+    r: int
+    l: int
+
+    @classmethod
+    def for_threshold(cls, s_star: float, l: int) -> "FilterFunction":
+        """Filter with ``l`` tables whose turning point is ``s_star``."""
+        return cls(r=solve_r(s_star, l), l=l)
+
+    def __call__(self, s):
+        return filter_probability(s, self.r, self.l)
+
+    @property
+    def turning_point(self) -> float:
+        """The similarity where this filter crosses probability 1/2."""
+        return turning_point(self.r, self.l)
+
+    def expected_false_positives(
+        self, s_grid: np.ndarray, mass: np.ndarray, s_star: float
+    ) -> float:
+        """Definition 6: ``integral_0^{s*} D(s) p_{r,l}(s) ds``.
+
+        ``s_grid``/``mass`` give the similarity distribution as bin
+        centers and pair counts per bin (so the "integral" is a sum).
+        """
+        below = s_grid < s_star
+        return float(np.sum(mass[below] * filter_probability(s_grid[below], self.r, self.l)))
+
+    def expected_false_negatives(
+        self, s_grid: np.ndarray, mass: np.ndarray, s_star: float
+    ) -> float:
+        """Definition 7: ``integral_{s*}^1 D(s) (1 - p_{r,l}(s)) ds``."""
+        above = s_grid >= s_star
+        return float(
+            np.sum(mass[above] * (1.0 - filter_probability(s_grid[above], self.r, self.l)))
+        )
+
+    def expected_error(self, s_grid: np.ndarray, mass: np.ndarray, s_star: float) -> float:
+        """Total expected error: false positives plus false negatives."""
+        return self.expected_false_positives(
+            s_grid, mass, s_star
+        ) + self.expected_false_negatives(s_grid, mass, s_star)

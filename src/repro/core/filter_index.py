@@ -1,0 +1,190 @@
+"""Similarity and Dissimilarity Filter Indices (Sections 4.1, 4.2).
+
+An ``SFI(s*)`` retrieves, with probability ``p_{r,l}(s)``, every stored
+vector whose Hamming similarity ``s`` to the query exceeds the turning
+point ``s*``.  It is ``l`` hash tables, each keyed on a fixed random
+sample of ``r`` bit positions; the probe result ``SimVector(s*, q)`` is
+the union of the ``l`` matching buckets, answered with ``O(l)`` bucket
+accesses.
+
+A ``DFI(s*)`` retrieves vectors *at most* ``s*``-similar.  By
+Theorem 2, complementing the query flips similarity around 1/2:
+
+    S_H(h, ~q) = 1 - S_H(h, q),
+
+so a DFI is an ``SFI(1 - s*)`` probed with the complemented query;
+data vectors are stored unmodified.
+
+Both structures are dynamic: vectors can be inserted or deleted at any
+time, which is what the hash-table primitive buys the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.filter_function import FilterFunction
+from repro.hamming.bitvector import complement
+from repro.hamming.sampling import BitSampler
+from repro.storage.hashtable import BucketHashTable
+from repro.storage.pager import PageManager
+
+
+class SimilarityFilterIndex:
+    """``SFI(s*)``: retrieves vectors at least ``s*``-Hamming-similar.
+
+    Parameters
+    ----------
+    threshold:
+        The turning point ``s*`` in Hamming similarity, in (0, 1).
+    n_tables:
+        The number of hash tables ``l``; together with ``threshold``
+        this fixes ``r`` via the turning-point equation.
+    n_bits:
+        Dimensionality ``D`` of the stored vectors.
+    pager:
+        Storage backend (shared for I/O accounting).
+    expected_entries:
+        Sizing hint: buckets are provisioned so that, at this many
+        entries, overflows are rare (the paper's "no bucket overflows"
+        provisioning).
+    seed:
+        Freezes the random bit-position samples.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        n_tables: int,
+        n_bits: int,
+        pager: PageManager,
+        expected_entries: int = 1024,
+        seed: int = 0,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        if n_tables <= 0:
+            raise ValueError(f"n_tables must be positive, got {n_tables}")
+        self.threshold = threshold
+        self.n_bits = n_bits
+        self.filter = FilterFunction.for_threshold(threshold, n_tables)
+        rng = np.random.default_rng(seed)
+        self._samplers = [
+            BitSampler(n_bits, self.filter.r, rng) for _ in range(n_tables)
+        ]
+        slots = pager.capacity_for(16)
+        n_buckets = max(1, -(-expected_entries // slots)) * 2
+        self._tables = [BucketHashTable(pager, n_buckets) for _ in range(n_tables)]
+
+    @property
+    def n_tables(self) -> int:
+        return len(self._tables)
+
+    @property
+    def r(self) -> int:
+        """Sampled bits per table."""
+        return self.filter.r
+
+    @property
+    def n_entries(self) -> int:
+        """Entries per table (each vector appears once in every table)."""
+        return self._tables[0].n_entries if self._tables else 0
+
+    def insert(self, vector: np.ndarray, sid: int) -> None:
+        """Index one packed vector under its set identifier."""
+        for sampler, table in zip(self._samplers, self._tables):
+            table.insert(sampler.key(vector), sid)
+
+    def insert_many(self, matrix: np.ndarray, sids: Sequence[int]) -> None:
+        """Bulk-index the rows of a packed matrix (vectorized keying)."""
+        if matrix.shape[0] != len(sids):
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows but {len(sids)} sids given"
+            )
+        if matrix.shape[0] == 0:
+            return
+        for sampler, table in zip(self._samplers, self._tables):
+            for key, sid in zip(sampler.keys(matrix), sids):
+                table.insert(key, sid)
+
+    def delete(self, vector: np.ndarray, sid: int) -> None:
+        """Remove a previously inserted (vector, sid) pair."""
+        for sampler, table in zip(self._samplers, self._tables):
+            table.delete(sampler.key(vector), sid)
+
+    def probe(self, query: np.ndarray) -> set[int]:
+        """``SimVector(s*, q)``: union of the matching bucket of each table."""
+        sids: set[int] = set()
+        for sampler, table in zip(self._samplers, self._tables):
+            sids.update(table.probe(sampler.key(query)))
+        return sids
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilarityFilterIndex(threshold={self.threshold:.3f}, "
+            f"l={self.n_tables}, r={self.r})"
+        )
+
+
+class DissimilarityFilterIndex:
+    """``DFI(s*)``: retrieves vectors at most ``s*``-Hamming-similar.
+
+    Internally an ``SFI(1 - s*)``; probes complement the query vector
+    per Theorem 2.  Data vectors are stored unchanged, so one insertion
+    stream can feed SFIs and DFIs alike.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        n_tables: int,
+        n_bits: int,
+        pager: PageManager,
+        expected_entries: int = 1024,
+        seed: int = 0,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        self.n_bits = n_bits
+        self._sfi = SimilarityFilterIndex(
+            1.0 - threshold, n_tables, n_bits, pager, expected_entries, seed
+        )
+
+    @property
+    def n_tables(self) -> int:
+        return self._sfi.n_tables
+
+    @property
+    def r(self) -> int:
+        return self._sfi.r
+
+    @property
+    def filter(self) -> FilterFunction:
+        """The underlying ``p_{r,l}``, with turning point at ``1 - s*``."""
+        return self._sfi.filter
+
+    @property
+    def n_entries(self) -> int:
+        return self._sfi.n_entries
+
+    def insert(self, vector: np.ndarray, sid: int) -> None:
+        self._sfi.insert(vector, sid)
+
+    def insert_many(self, matrix: np.ndarray, sids: Sequence[int]) -> None:
+        self._sfi.insert_many(matrix, sids)
+
+    def delete(self, vector: np.ndarray, sid: int) -> None:
+        self._sfi.delete(vector, sid)
+
+    def probe(self, query: np.ndarray) -> set[int]:
+        """``DissimVector(s*, q)``: probe the inner SFI with ``~q``."""
+        return self._sfi.probe(complement(query, self.n_bits))
+
+    def __repr__(self) -> str:
+        return (
+            f"DissimilarityFilterIndex(threshold={self.threshold:.3f}, "
+            f"l={self.n_tables}, r={self.r})"
+        )

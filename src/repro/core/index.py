@@ -1,0 +1,420 @@
+"""The tunable set-similarity index (Sections 3-5, end to end).
+
+``SetSimilarityIndex`` is the system the paper evaluates: it
+preprocesses a set collection into Hamming embeddings, plans filter
+placement and budget allocation with the Section 5 optimizer, builds
+the planned SFI/DFI structures over simulated disk pages, and answers
+similarity range queries with the Section 4.3 candidate plans followed
+by exact verification against sets fetched through the B-tree.
+
+Dynamic maintenance (insert/delete of whole sets) is supported, as the
+paper claims for the hash-based primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.distribution import SimilarityDistribution
+from repro.core.embedding import SetEmbedder
+from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIndex
+from repro.core.optimizer import SFI, IndexPlan, greedy_allocate, plan_index
+from repro.core.similarity import jaccard
+from repro.storage.iomodel import IOCostModel, IOStats
+from repro.storage.pager import PageManager
+from repro.storage.setstore import SetStore
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one similarity range query.
+
+    ``answers`` contains exactly the sets whose true similarity lies in
+    the requested range among the retrieved candidates (verification is
+    exact, so there are no false positives; filter false negatives may
+    be missing).  ``candidates`` is the sid set the filters produced
+    before verification -- its size is what the paper's precision
+    metric measures against.
+    """
+
+    answers: list[tuple[int, float]]
+    candidates: set[int]
+    io: IOStats
+    io_time: float
+    cpu_time: float
+
+    @property
+    def total_time(self) -> float:
+        """Simulated response time: I/O plus CPU."""
+        return self.io_time + self.cpu_time
+
+    @property
+    def answer_sids(self) -> set[int]:
+        """The answer set identifiers (without similarities)."""
+        return {sid for sid, _ in self.answers}
+
+
+class SetSimilarityIndex:
+    """Approximate index for Jaccard-similarity range queries over sets.
+
+    Build with :meth:`build`; query with :meth:`query` /
+    :meth:`query_above` / :meth:`query_below`.
+
+    Parameters of :meth:`build`
+    ---------------------------
+    sets:
+        The collection to index.
+    budget:
+        Total number of hash tables the optimizer may spend (the
+        paper's space constraint; its experiments use 500 and 1000).
+    recall_target:
+        Expected worst-case recall floor ``T`` for the construction
+        algorithm.
+    k, b:
+        Min-hash signature length and bits of precision per value
+        (embedding dimensionality is ``2**b * k``).
+    sample_pairs:
+        If given, estimate the similarity distribution from this many
+        sampled pairs (Lemma 1) instead of all pairs.
+    """
+
+    def __init__(
+        self,
+        embedder: SetEmbedder,
+        plan: IndexPlan,
+        distribution: SimilarityDistribution,
+        pager: PageManager,
+        store: SetStore,
+    ):
+        self.embedder = embedder
+        self.plan = plan
+        self.distribution = distribution
+        self.pager = pager
+        self.io = pager.io
+        self.store = store
+        self._vectors: dict[int, np.ndarray] = {}
+        self._sizes: dict[int, int] = {}
+        self._sfis: dict[float, SimilarityFilterIndex] = {}
+        self._dfis: dict[float, DissimilarityFilterIndex] = {}
+        self._planner = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        sets: Sequence[Iterable],
+        budget: int = 500,
+        recall_target: float = 0.9,
+        k: int = 100,
+        b: int = 6,
+        seed: int = 0,
+        sample_pairs: int | None = None,
+        n_bins: int = 100,
+        max_intervals: int | None = None,
+        io: IOCostModel | None = None,
+        allocator=greedy_allocate,
+        max_per_filter: int | None = None,
+    ) -> "SetSimilarityIndex":
+        sets = [frozenset(s) for s in sets]
+        dist = SimilarityDistribution.from_sets(
+            sets, n_bins=n_bins, sample_pairs=sample_pairs, seed=seed
+        )
+        plan = plan_index(
+            dist,
+            budget,
+            recall_target=recall_target,
+            b=b,
+            max_intervals=max_intervals,
+            allocator=allocator,
+            max_per_filter=max_per_filter,
+        )
+        return cls.from_plan(sets, plan, dist, k=k, b=b, seed=seed, io=io)
+
+    @classmethod
+    def from_plan(
+        cls,
+        sets: Sequence[Iterable],
+        plan: IndexPlan,
+        distribution: SimilarityDistribution,
+        k: int = 100,
+        b: int = 6,
+        seed: int = 0,
+        io: IOCostModel | None = None,
+    ) -> "SetSimilarityIndex":
+        """Materialize an index from an explicit plan.
+
+        Used by ablation experiments that bypass or modify the Fig. 4
+        optimizer (e.g. SFI-only placement, uniform allocation).
+        """
+        sets = [frozenset(s) for s in sets]
+        io = io if io is not None else IOCostModel()
+        pager = PageManager(io)
+        store = SetStore(pager)
+        embedder = SetEmbedder(k=k, b=b, seed=seed)
+        index = cls(embedder, plan, distribution, pager, store)
+        index._materialize_filters(expected_entries=max(1, len(sets)), seed=seed)
+        sids = store.insert_many(sets)
+        if sets:
+            matrix = embedder.embed_many(sets)
+            for sid, row, elements in zip(sids, matrix, sets):
+                index._vectors[sid] = row
+                index._sizes[sid] = len(elements)
+            for fi in index._all_filters():
+                fi.insert_many(matrix, sids)
+        return index
+
+    def _materialize_filters(self, expected_entries: int, seed: int) -> None:
+        n_bits = self.embedder.dimension
+        for offset, planned in enumerate(self.plan.filters):
+            if planned.n_tables <= 0:
+                continue
+            threshold = planned.hamming_threshold(self.embedder.b)
+            args = dict(
+                n_tables=planned.n_tables,
+                n_bits=n_bits,
+                pager=self.pager,
+                expected_entries=expected_entries,
+                seed=seed + 7919 * (offset + 1),
+            )
+            if planned.kind == SFI:
+                self._sfis[planned.point] = SimilarityFilterIndex(threshold, **args)
+            else:
+                self._dfis[planned.point] = DissimilarityFilterIndex(threshold, **args)
+
+    def _all_filters(self):
+        yield from self._sfis.values()
+        yield from self._dfis.values()
+
+    # -- dynamic maintenance -------------------------------------------------
+
+    def insert(self, elements: Iterable) -> int:
+        """Add a set to the collection and all filter structures."""
+        stored = frozenset(elements)
+        sid = self.store.insert(stored)
+        vector = self.embedder.embed(stored)
+        self._vectors[sid] = vector
+        self._sizes[sid] = len(stored)
+        self._planner = None
+        for fi in self._all_filters():
+            fi.insert(vector, sid)
+        return sid
+
+    def delete(self, sid: int) -> None:
+        """Remove a set from the collection and all filter structures."""
+        vector = self._vectors.pop(sid, None)
+        if vector is None:
+            raise KeyError(f"unknown sid: {sid}")
+        self._sizes.pop(sid, None)
+        self._planner = None
+        for fi in self._all_filters():
+            fi.delete(vector, sid)
+        self.store.delete(sid)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of currently indexed sets."""
+        return len(self._vectors)
+
+    @property
+    def sids(self) -> set[int]:
+        """Identifiers of the currently indexed sets."""
+        return set(self._vectors)
+
+    # -- query processing ------------------------------------------------------
+
+    def query(
+        self,
+        elements: Iterable,
+        sigma_low: float,
+        sigma_high: float,
+        strategy: str = "index",
+    ) -> QueryResult:
+        """All indexed sets with ``sigma_low <= sim <= sigma_high``.
+
+        ``strategy="index"`` (default) implements the Section 4.3 query
+        plans: pick the cut points minimally enclosing the range, probe
+        the corresponding filter structures, difference/union the probe
+        results, then fetch and verify every candidate exactly.
+
+        ``strategy="scan"`` reads the whole collection sequentially
+        (exact; recall 1).  ``strategy="auto"`` asks the cost-based
+        :class:`~repro.core.planner.QueryPlanner` which is predicted
+        cheaper for this range -- the per-query version of the paper's
+        Section 6 crossover analysis.
+        """
+        if not 0.0 <= sigma_low <= sigma_high <= 1.0:
+            raise ValueError(
+                f"invalid similarity range [{sigma_low}, {sigma_high}]"
+            )
+        if strategy not in ("index", "scan", "auto"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        if strategy == "auto":
+            strategy = self.planner().choose(sigma_low, sigma_high)
+        before = self.io.snapshot()
+        query_set = frozenset(elements)
+        if strategy == "scan":
+            candidates, answers = self._scan_query(query_set, sigma_low, sigma_high)
+        else:
+            candidates = self._candidates(query_set, sigma_low, sigma_high)
+            answers = self._verify(query_set, candidates, sigma_low, sigma_high)
+        delta = self.io.snapshot() - before
+        return QueryResult(
+            answers=answers,
+            candidates=candidates,
+            io=delta,
+            io_time=self.io.io_time(delta),
+            cpu_time=self.io.cpu_time(delta),
+        )
+
+    def planner(self) -> "QueryPlanner":
+        """The cost-based planner for this index.
+
+        Built lazily from catalog statistics (set sizes tracked at
+        insert time, heap page counts) and invalidated by updates.
+        """
+        from repro.core.planner import QueryPlanner
+
+        if self._planner is None:
+            avg_size = (
+                float(np.mean(list(self._sizes.values()))) if self._sizes else 1.0
+            )
+            self._planner = QueryPlanner(
+                plan=self.plan,
+                distribution=self.distribution,
+                io=self.io,
+                n_sets=self.n_sets,
+                heap_pages=self.store.n_pages,
+                avg_set_size=avg_size,
+            )
+        return self._planner
+
+    def _scan_query(
+        self, query_set: frozenset, sigma_low: float, sigma_high: float
+    ) -> tuple[set[int], list[tuple[int, float]]]:
+        """Exact evaluation by sequential scan of the set store."""
+        answers: list[tuple[int, float]] = []
+        candidates: set[int] = set()
+        for sid, stored in self.store.scan():
+            candidates.add(sid)
+            self.io.cpu(len(stored) + len(query_set))
+            similarity = jaccard(stored, query_set)
+            if sigma_low <= similarity <= sigma_high:
+                answers.append((sid, similarity))
+        answers.sort(key=lambda pair: (-pair[1], pair[0]))
+        return candidates, answers
+
+    def query_above(self, elements: Iterable, sigma: float) -> QueryResult:
+        """Sets at least ``sigma``-similar to the query."""
+        return self.query(elements, sigma, 1.0)
+
+    def query_below(self, elements: Iterable, sigma: float) -> QueryResult:
+        """Sets at most ``sigma``-similar to the query."""
+        return self.query(elements, 0.0, sigma)
+
+    def _candidates(
+        self, query_set: frozenset, sigma_low: float, sigma_high: float
+    ) -> set[int]:
+        lo, up = self._enclosing_points(sigma_low, sigma_high)
+        if lo is None and up is None:
+            return set(self._vectors)
+        if not query_set:
+            # The empty set cannot be embedded (min over nothing); it is
+            # disjoint from every non-empty set, so only a full-range
+            # query can return anything -- handled above.
+            return set()
+        vector = self.embedder.embed(query_set)
+        self.io.cpu(self.embedder.k)
+
+        def sim(point: float) -> set[int]:
+            return self._sfis[point].probe(vector)
+
+        def dissim(point: float) -> set[int]:
+            return self._dfis[point].probe(vector)
+
+        if lo is None:
+            if up in self._dfis:
+                return dissim(up)
+            # Inefficient fallback the DFI exists to avoid.
+            return set(self._vectors) - sim(up)
+        if up is None:
+            if lo in self._sfis:
+                return sim(lo)
+            return set(self._vectors) - dissim(lo)
+        if lo in self._sfis and up in self._sfis:
+            return sim(lo) - sim(up)
+        if lo in self._dfis and up in self._dfis:
+            return dissim(up) - dissim(lo)
+        # Mixed case: lo is a pure DFI point, up a pure SFI point; pivot
+        # through the dual-kind point m between them (Section 4.3).
+        pivot = self._pivot_between(lo, up)
+        low_side = dissim(pivot) - dissim(lo)
+        high_side = sim(pivot) - sim(up)
+        return low_side | high_side
+
+    def _enclosing_points(
+        self, sigma_low: float, sigma_high: float
+    ) -> tuple[float | None, float | None]:
+        """Cut points minimally enclosing the range; None = virtual 0/1."""
+        lo = max((c for c in self.plan.cut_points if c <= sigma_low), default=None)
+        up = min((c for c in self.plan.cut_points if c >= sigma_high), default=None)
+        return lo, up
+
+    def _pivot_between(self, lo: float, up: float) -> float:
+        for point in self.plan.cut_points:
+            if lo <= point <= up and point in self._sfis and point in self._dfis:
+                return point
+        raise RuntimeError(
+            f"no dual-kind pivot between cut points {lo} and {up}; "
+            "the plan is inconsistent"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SetSimilarityIndex(n_sets={self.n_sets}, "
+            f"k={self.embedder.k}, b={self.embedder.b}, "
+            f"intervals={self.plan.n_intervals}, "
+            f"tables={self.plan.tables_used})"
+        )
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the built index (structures, pages, vectors) to disk."""
+        from repro.core.persistence import save_index
+
+        save_index(self, path)
+
+    @classmethod
+    def load(cls, path) -> "SetSimilarityIndex":
+        """Load an index previously written by :meth:`save`.
+
+        Only load files you trust -- the on-disk format embeds a pickle.
+        """
+        from repro.core.persistence import load_index
+
+        index = load_index(path)
+        if not isinstance(index, cls):
+            raise TypeError(f"{path} does not contain a {cls.__name__}")
+        return index
+
+    def _verify(
+        self,
+        query_set: frozenset,
+        candidates: set[int],
+        sigma_low: float,
+        sigma_high: float,
+    ) -> list[tuple[int, float]]:
+        """Fetch candidates from disk and keep exact in-range matches."""
+        answers: list[tuple[int, float]] = []
+        for sid in candidates:
+            stored = self.store.get(sid)
+            self.io.cpu(len(stored) + len(query_set))
+            similarity = jaccard(stored, query_set)
+            if sigma_low <= similarity <= sigma_high:
+                answers.append((sid, similarity))
+        answers.sort(key=lambda pair: (-pair[1], pair[0]))
+        return answers

@@ -1,0 +1,59 @@
+"""Result-quality metrics: precision and recall (Section 5 definitions).
+
+The paper borrows precision and recall from Information Retrieval:
+recall measures how *accurate* the index is (what fraction of the true
+answer it returns), precision how *efficient* (what fraction of the
+work it does is useful).  Because final verification is exact, the
+returned answer never contains out-of-range sets; precision is
+therefore measured against the *candidate* set the filters produced,
+matching how the paper's plots behave (precision degrades as filters
+pull in more candidates than the answer needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class QueryQuality:
+    """Precision/recall of one query against ground truth."""
+
+    recall: float
+    precision: float
+    n_answers: int
+    n_candidates: int
+    n_truth: int
+
+
+def evaluate_query(
+    answer_sids: Iterable[int],
+    candidate_sids: Iterable[int],
+    truth_sids: Iterable[int],
+) -> QueryQuality:
+    """Score one query.
+
+    ``recall = |answers & truth| / |truth|`` (1 when the truth is
+    empty); ``precision = |answers & truth| / |candidates|`` (1 when no
+    candidates were fetched).
+    """
+    answers = set(answer_sids)
+    candidates = set(candidate_sids)
+    truth = set(truth_sids)
+    hit = len(answers & truth)
+    recall = 1.0 if not truth else hit / len(truth)
+    precision = 1.0 if not candidates else hit / len(candidates)
+    return QueryQuality(
+        recall=recall,
+        precision=precision,
+        n_answers=len(answers),
+        n_candidates=len(candidates),
+        n_truth=len(truth),
+    )
+
+
+def average(values: Iterable[float]) -> float:
+    """Mean of a possibly empty sequence (0.0 when empty)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,113 @@
+"""Min-wise independent permutations via universal hashing (Section 3.1).
+
+The Min Hashing technique of Broder et al. implicitly defines a random
+order on the (unknown, unbounded) element universe: for a random
+permutation ``pi``,
+
+    Pr[ min pi(A) == min pi(B) ] = sim(A, B).
+
+Repeating with ``k`` independent permutations yields the *min-hash
+signature*; the fraction of agreeing coordinates is an unbiased
+estimator of the Jaccard similarity.
+
+As in the paper, permutations are approximated with universal hashing:
+elements are first mapped to integers by a stable (seed-independent)
+64-bit hash, then permuted with ``h(x) = (a*x + b) mod p`` for the
+Mersenne prime ``p = 2**31 - 1``.  Keeping the residues below ``2**31``
+lets the whole signature computation run in vectorized uint64 numpy
+arithmetic without overflow.
+
+Signatures keep full ``log2(p)``-bit precision; the embedding stage
+reduces values to ``b`` bits (the paper's "number of fixed precision")
+and accounts for the small collision bias that introduces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+#: Mersenne prime used by the universal hash family.
+MERSENNE_PRIME = (1 << 31) - 1
+
+
+def stable_element_hash(element) -> int:
+    """Map an arbitrary hashable element to a stable 64-bit integer.
+
+    Unlike builtin ``hash``, the result does not depend on
+    ``PYTHONHASHSEED``, so signatures are reproducible across runs --
+    a requirement for a persistent index.
+    """
+    if isinstance(element, (int, np.integer)):
+        payload = b"i" + int(element).to_bytes(16, "little", signed=True)
+    elif isinstance(element, bytes):
+        payload = b"b" + element
+    elif isinstance(element, str):
+        payload = b"s" + element.encode("utf-8")
+    else:
+        payload = b"r" + repr(element).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "little")
+
+
+class MinHasher:
+    """Computes length-``k`` min-hash signatures of arbitrary sets.
+
+    Parameters
+    ----------
+    k:
+        Signature length (number of independent permutations).  The
+        paper's timing experiments use ``k = 100``.
+    seed:
+        Seed for drawing the permutation parameters.  Two hashers with
+        the same seed and ``k`` produce identical signatures, so a
+        query can be signed consistently with a previously built index.
+    """
+
+    def __init__(self, k: int = 100, seed: int = 0):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, MERSENNE_PRIME, size=k, dtype=np.uint64)
+        self._b = rng.integers(0, MERSENNE_PRIME, size=k, dtype=np.uint64)
+        self._p = np.uint64(MERSENNE_PRIME)
+
+    def signature(self, elements: Iterable) -> np.ndarray:
+        """Min-hash signature of a set, shape ``(k,)`` of uint64.
+
+        Raises ``ValueError`` for the empty set: ``min`` over an empty
+        set is undefined, exactly as in the paper's formulation.
+        """
+        hashed = self.hash_elements(elements)
+        if hashed.size == 0:
+            raise ValueError("cannot compute a min-hash signature of the empty set")
+        # (k, n) table of h_i(x_j); overflow-safe because a, x < 2**31.
+        table = (self._a[:, np.newaxis] * hashed[np.newaxis, :] + self._b[:, np.newaxis]) % self._p
+        return table.min(axis=1)
+
+    def signature_matrix(self, sets: Iterable[Iterable]) -> np.ndarray:
+        """Signatures of many sets stacked into shape ``(N, k)``."""
+        signatures = [self.signature(s) for s in sets]
+        if not signatures:
+            return np.empty((0, self.k), dtype=np.uint64)
+        return np.stack(signatures)
+
+    def hash_elements(self, elements: Iterable) -> np.ndarray:
+        """Stable element hashes reduced modulo the Mersenne prime."""
+        values = np.fromiter(
+            (stable_element_hash(e) for e in elements), dtype=np.uint64
+        )
+        return values % self._p
+
+    @staticmethod
+    def estimate_similarity(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Unbiased Jaccard estimate: fraction of agreeing coordinates."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError(f"signature shapes differ: {sig_a.shape} vs {sig_b.shape}")
+        return float(np.mean(sig_a == sig_b))
+
+    def __repr__(self) -> str:
+        return f"MinHasher(k={self.k}, seed={self.seed})"

@@ -1,0 +1,53 @@
+"""Saving and loading built indexes.
+
+Building an index costs a full pass over the collection plus the
+optimization loop; a production deployment builds once and serves many
+sessions.  This module persists a built
+:class:`~repro.core.index.SetSimilarityIndex` -- embedder parameters,
+plan, filter structures, simulated pages, vectors and the set store --
+to a single file.
+
+Format: a magic header + format version, then a pickle of the index
+object (everything inside is plain Python/numpy state).  The version is
+checked on load so stale files fail loudly rather than subtly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+MAGIC = b"REPRO-SSI"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a file is not a valid saved index."""
+
+
+def save_index(index, path) -> None:
+    """Serialize a built index to ``path``."""
+    path = Path(path)
+    payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(FORMAT_VERSION.to_bytes(2, "little"))
+        f.write(payload)
+
+
+def load_index(path):
+    """Load an index previously written by :func:`save_index`.
+
+    Only load files you trust -- the payload is a pickle.
+    """
+    path = Path(path)
+    with open(path, "rb") as f:
+        magic = f.read(len(MAGIC))
+        if magic != MAGIC:
+            raise PersistenceError(f"{path} is not a saved index (bad magic)")
+        version = int.from_bytes(f.read(2), "little")
+        if version != FORMAT_VERSION:
+            raise PersistenceError(
+                f"{path} has format version {version}; this build reads {FORMAT_VERSION}"
+            )
+        return pickle.load(f)

@@ -1,0 +1,63 @@
+"""Set similarity measures.
+
+Definition 1 of the paper: the similarity of two sets is their Jaccard
+coefficient ``|A & B| / |A | B|``, a value in [0, 1].  The coefficient
+itself is not a metric, but ``1 - sim`` is, which is what makes the
+distance-based reformulation in Hamming space legitimate.
+
+Jaccard is the measure the whole index is built around; containment,
+Dice and overlap are provided as companions because real workloads
+(e.g. the sale-mailing example in the introduction) often phrase their
+post-filters in those terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jaccard(a: Iterable, b: Iterable) -> float:
+    """Jaccard coefficient ``|A & B| / |A | B|`` (Definition 1).
+
+    Two empty sets are defined to have similarity 1 (they are equal).
+    """
+    a, b = _as_sets(a, b)
+    if not a and not b:
+        return 1.0
+    intersection = len(a & b)
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def jaccard_distance(a: Iterable, b: Iterable) -> float:
+    """``1 - jaccard``; unlike the similarity, this is a metric."""
+    return 1.0 - jaccard(a, b)
+
+
+def containment(a: Iterable, b: Iterable) -> float:
+    """Fraction of A's elements that also appear in B."""
+    a, b = _as_sets(a, b)
+    if not a:
+        return 1.0
+    return len(a & b) / len(a)
+
+
+def dice(a: Iterable, b: Iterable) -> float:
+    """Dice coefficient ``2|A & B| / (|A| + |B|)``."""
+    a, b = _as_sets(a, b)
+    if not a and not b:
+        return 1.0
+    return 2 * len(a & b) / (len(a) + len(b))
+
+
+def overlap(a: Iterable, b: Iterable) -> float:
+    """Overlap coefficient ``|A & B| / min(|A|, |B|)``."""
+    a, b = _as_sets(a, b)
+    if not a or not b:
+        return 1.0 if (not a and not b) else 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def _as_sets(a: Iterable, b: Iterable) -> tuple[frozenset, frozenset]:
+    a = a if isinstance(a, (set, frozenset)) else frozenset(a)
+    b = b if isinstance(b, (set, frozenset)) else frozenset(b)
+    return frozenset(a), frozenset(b)

@@ -1,0 +1,140 @@
+"""Weighted sets: weighted Jaccard similarity and indexing support.
+
+The paper fixes ``sim`` to the Jaccard coefficient but frames the
+problem for "suitably defined notions of similarity between sets".
+Real recommendation data is weighted (purchase counts, page dwell
+time); the standard generalization is the *weighted Jaccard*
+similarity of two non-negative weight vectors,
+
+    sim_w(A, B) = sum_e min(A_e, B_e) / sum_e max(A_e, B_e),
+
+which reduces to plain Jaccard on 0/1 weights.
+
+Indexing reduces to the unweighted machinery by *quantization*: an
+element with weight ``w`` becomes ``round(w / quantum)`` replica
+elements ``(e, 0), (e, 1), ...``.  Plain Jaccard over replica sets
+equals weighted Jaccard over the quantized weights exactly, so the
+whole pipeline -- signatures, ECC embedding, filter indices, the
+optimizer -- applies unchanged.  The price is the quantization error
+(bounded by the quantum relative to the weight mass) and signature
+cost growing with total weight; both are documented and tested.
+
+``WeightedSetSimilarityIndex`` wraps :class:`SetSimilarityIndex` with
+this transformation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.index import QueryResult, SetSimilarityIndex
+
+
+def weighted_jaccard(a: Mapping, b: Mapping) -> float:
+    """Weighted Jaccard ``sum min / sum max`` of two weight mappings.
+
+    Missing elements have weight 0; negative weights are rejected.
+    Two all-zero (or empty) mappings have similarity 1, matching the
+    unweighted convention for two empty sets.
+    """
+    _check_weights(a)
+    _check_weights(b)
+    mins, maxs = [], []
+    for element in a.keys() | b.keys():
+        wa = a.get(element, 0.0)
+        wb = b.get(element, 0.0)
+        mins.append(min(wa, wb))
+        maxs.append(max(wa, wb))
+    # fsum: exactly rounded, so the result is independent of the
+    # (argument-order-dependent) iteration order of the key union.
+    max_sum = math.fsum(maxs)
+    if max_sum == 0.0:
+        return 1.0
+    return math.fsum(mins) / max_sum
+
+
+def quantize(weights: Mapping, quantum: float) -> frozenset:
+    """Replica-set encoding of a weight mapping.
+
+    Element ``e`` with weight ``w`` contributes replicas
+    ``(e, 0) .. (e, round(w / quantum) - 1)``.  Plain Jaccard between
+    two replica sets equals the weighted Jaccard of the quantized
+    weights: both numerator and denominator count replicas, and replica
+    ``(e, i)`` is shared iff ``i < min`` of the two quantized counts.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    _check_weights(weights)
+    replicas = set()
+    for element, weight in weights.items():
+        count = round(weight / quantum)
+        replicas.update((element, i) for i in range(count))
+    return frozenset(replicas)
+
+
+def _check_weights(weights: Mapping) -> None:
+    for element, weight in weights.items():
+        if weight < 0:
+            raise ValueError(f"negative weight {weight} for element {element!r}")
+
+
+class WeightedSetSimilarityIndex:
+    """Similarity range queries over weighted sets.
+
+    A thin adapter: weight mappings are quantized to replica sets and
+    indexed with the ordinary :class:`SetSimilarityIndex`; query
+    results carry *exact quantized* weighted similarities (the
+    quantization error relative to the raw weights is at most about
+    ``quantum * n_elements / weight_mass`` per pair).
+
+    Parameters of :meth:`build` mirror the unweighted index, plus
+    ``quantum`` -- the weight resolution.
+    """
+
+    def __init__(self, inner: SetSimilarityIndex, quantum: float):
+        self.inner = inner
+        self.quantum = quantum
+
+    @classmethod
+    def build(
+        cls,
+        weighted_sets: Sequence[Mapping],
+        quantum: float = 1.0,
+        **build_kwargs,
+    ) -> "WeightedSetSimilarityIndex":
+        replica_sets = [quantize(w, quantum) for w in weighted_sets]
+        inner = SetSimilarityIndex.build(replica_sets, **build_kwargs)
+        return cls(inner, quantum)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of indexed weighted sets."""
+        return self.inner.n_sets
+
+    @property
+    def plan(self):
+        """The inner index's optimizer plan."""
+        return self.inner.plan
+
+    def query(
+        self, weights: Mapping, sigma_low: float, sigma_high: float, **kwargs
+    ) -> QueryResult:
+        """Weighted-similarity range query (similarities are quantized)."""
+        return self.inner.query(quantize(weights, self.quantum), sigma_low, sigma_high, **kwargs)
+
+    def query_above(self, weights: Mapping, sigma: float) -> QueryResult:
+        """Weighted sets at least ``sigma``-similar to the query."""
+        return self.query(weights, sigma, 1.0)
+
+    def query_below(self, weights: Mapping, sigma: float) -> QueryResult:
+        """Weighted sets at most ``sigma``-similar to the query."""
+        return self.query(weights, 0.0, sigma)
+
+    def insert(self, weights: Mapping) -> int:
+        """Index a weight mapping, returning its sid."""
+        return self.inner.insert(quantize(weights, self.quantum))
+
+    def delete(self, sid: int) -> None:
+        """Remove a previously inserted weighted set."""
+        self.inner.delete(sid)

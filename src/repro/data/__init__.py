@@ -1,0 +1,44 @@
+"""Workload generation: dataset surrogates and query workloads.
+
+The paper evaluates on two proprietary HTTP-log datasets (the Nagano
+winter-Olympics site and a corporate site; 200,000 sets each).  Those
+logs are not available, so :mod:`repro.data.weblog` synthesizes
+collections with the same structural properties: Zipf-popular URLs
+(every visitor shares the hot pages, giving broad low-level overlap)
+plus shared browsing templates (sessions that visit largely the same
+pages, giving a decaying tail of genuinely similar pairs).
+
+:mod:`repro.data.generators` supplies simpler controlled collections
+for tests and ablations, and :mod:`repro.data.queries` builds the
+random-range query workloads and the result-size bucketing used by
+every experiment in Section 6.
+"""
+
+from repro.data.documents import make_document_collection, shingles
+from repro.data.generators import planted_clusters, uniform_random_sets, zipf_sets
+from repro.data.queries import (
+    PAPER_BUCKETS,
+    QueryWorkload,
+    RangeQuery,
+    bucket_index,
+    bucket_label,
+    ground_truth,
+)
+from repro.data.weblog import make_set1, make_set2, make_weblog_collection
+
+__all__ = [
+    "PAPER_BUCKETS",
+    "QueryWorkload",
+    "RangeQuery",
+    "bucket_index",
+    "bucket_label",
+    "ground_truth",
+    "make_document_collection",
+    "make_set1",
+    "make_set2",
+    "make_weblog_collection",
+    "shingles",
+    "planted_clusters",
+    "uniform_random_sets",
+    "zipf_sets",
+]

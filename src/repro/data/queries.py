@@ -1,0 +1,113 @@
+"""Query workloads and result-size bucketing (Section 6 methodology).
+
+The paper evaluates with query sets "chosen at random from the set
+collection" and range bounds "chosen at random as well", then groups
+queries into five buckets by candidate-result size as a fraction of the
+collection: < 0.5%, 0.5-5%, 5-10%, 10-25% and 25-35%.  All reported
+precision/recall/response-time numbers are per-bucket averages.
+
+``QueryWorkload`` reproduces that protocol deterministically from a
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: The paper's five result-size buckets as (low, high] fractions of N.
+PAPER_BUCKETS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.005),
+    (0.005, 0.05),
+    (0.05, 0.10),
+    (0.10, 0.25),
+    (0.25, 0.35),
+)
+
+
+def bucket_index(result_fraction: float, buckets=PAPER_BUCKETS) -> int | None:
+    """Bucket number for a result size fraction, or None if outside all."""
+    for i, (low, high) in enumerate(buckets):
+        if low <= result_fraction <= high:
+            return i
+    return None
+
+
+def bucket_label(i: int, buckets=PAPER_BUCKETS) -> str:
+    """Human-readable label of bucket ``i``, e.g. ``"0.5-5%"``."""
+    low, high = buckets[i]
+    return f"{low * 100:g}-{high * 100:g}%"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One similarity range query: a query set index and its range."""
+
+    set_index: int
+    sigma_low: float
+    sigma_high: float
+
+
+class QueryWorkload:
+    """Deterministic random query workload over a collection.
+
+    Parameters
+    ----------
+    n_sets:
+        Size of the collection queries are drawn from.
+    seed:
+        Workload seed; the same seed reproduces the same queries.
+    min_width:
+        Minimum range width; the paper's random ranges are continuous,
+        and zero-width ranges have empty answers almost surely, so a
+        small floor keeps every query meaningful.
+    """
+
+    def __init__(self, n_sets: int, seed: int = 0, min_width: float = 0.05):
+        if n_sets <= 0:
+            raise ValueError(f"n_sets must be positive, got {n_sets}")
+        if not 0.0 <= min_width <= 1.0:
+            raise ValueError(f"min_width must be in [0, 1], got {min_width}")
+        self.n_sets = n_sets
+        self.min_width = min_width
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, n_queries: int) -> list[RangeQuery]:
+        """Draw ``n_queries`` random (set, range) queries."""
+        queries = []
+        for _ in range(n_queries):
+            index = int(self._rng.integers(0, self.n_sets))
+            a, b = self._rng.random(2)
+            low, high = (a, b) if a <= b else (b, a)
+            if high - low < self.min_width:
+                high = min(1.0, low + self.min_width)
+                low = max(0.0, high - self.min_width)
+            queries.append(RangeQuery(index, float(low), float(high)))
+        return queries
+
+    def iter_queries(self, n_queries: int) -> Iterator[RangeQuery]:
+        """Generator form of :meth:`sample`."""
+        yield from self.sample(n_queries)
+
+
+def ground_truth(
+    sets: Sequence[frozenset],
+    query: RangeQuery,
+    similarities: np.ndarray | None = None,
+) -> set[int]:
+    """Exact answer sids for a query (brute force; used for scoring).
+
+    Pass precomputed ``similarities`` (of the query set against every
+    set) to amortize repeated scoring of one query set.
+    """
+    if similarities is None:
+        from repro.core.similarity import jaccard
+
+        q = sets[query.set_index]
+        similarities = np.fromiter(
+            (jaccard(q, s) for s in sets), dtype=np.float64, count=len(sets)
+        )
+    mask = (similarities >= query.sigma_low) & (similarities <= query.sigma_high)
+    return set(np.flatnonzero(mask).tolist())

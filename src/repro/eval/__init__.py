@@ -1,0 +1,21 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+* :mod:`repro.eval.harness` -- runs a query workload against the index
+  and the sequential-scan baseline, scoring recall/precision against an
+  exact oracle and bucketing by candidate-result size.
+* :mod:`repro.eval.experiments` -- one driver per paper artifact
+  (Fig. 6(a), Fig. 6(b), Fig. 7(a), Fig. 7(b), the crossover estimate,
+  Example 1) plus the ablations DESIGN.md calls out.
+* :mod:`repro.eval.report` -- plain-text table formatting shared by the
+  drivers and the benchmark harness.
+"""
+
+from repro.eval.harness import BucketSummary, ExperimentHarness, QueryRecord
+from repro.eval.report import format_table
+
+__all__ = [
+    "BucketSummary",
+    "ExperimentHarness",
+    "QueryRecord",
+    "format_table",
+]

@@ -1,0 +1,152 @@
+"""Query-workload runner and result-size bucketing (Section 6 protocol).
+
+The paper's measurement protocol: ask random queries (query sets drawn
+from the collection, range bounds random), classify each query by the
+size of the candidate list the index returns as a fraction of the
+collection, and report precision, recall and response time averaged
+per bucket.
+
+``ExperimentHarness`` reproduces that protocol over one dataset: it
+holds the built index, a sequential-scan baseline over the *same* set
+store (so both pay the same I/O model), and an exact inverted-index
+oracle for ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.inverted_index import InvertedIndex
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.index import SetSimilarityIndex
+from repro.core.metrics import evaluate_query
+from repro.data.queries import PAPER_BUCKETS, RangeQuery, bucket_index, bucket_label
+
+
+@dataclass
+class QueryRecord:
+    """Everything measured for one query."""
+
+    query: RangeQuery
+    n_truth: int
+    n_candidates: int
+    n_answers: int
+    recall: float
+    precision: float
+    index_io_time: float
+    index_cpu_time: float
+    scan_io_time: float
+    scan_cpu_time: float
+
+    @property
+    def index_time(self) -> float:
+        return self.index_io_time + self.index_cpu_time
+
+    @property
+    def scan_time(self) -> float:
+        return self.scan_io_time + self.scan_cpu_time
+
+
+@dataclass
+class BucketSummary:
+    """Per-result-size-bucket averages (one bar group in Fig. 6/7)."""
+
+    label: str
+    n_queries: int
+    recall: float
+    precision: float
+    index_io_time: float
+    index_cpu_time: float
+    scan_io_time: float
+    scan_cpu_time: float
+
+    @property
+    def index_time(self) -> float:
+        return self.index_io_time + self.index_cpu_time
+
+    @property
+    def scan_time(self) -> float:
+        return self.scan_io_time + self.scan_cpu_time
+
+
+class ExperimentHarness:
+    """Runs range queries against index + scan and scores them."""
+
+    def __init__(self, sets: Sequence[frozenset], index: SetSimilarityIndex):
+        self.sets = [frozenset(s) for s in sets]
+        self.index = index
+        self.scan = SequentialScan(index.store)
+        self.oracle = InvertedIndex(self.sets)
+
+    def run_query(self, query: RangeQuery, measure_scan: bool = True) -> QueryRecord:
+        """Execute one query on the index (and optionally the scan)."""
+        query_set = self.sets[query.set_index]
+        result = self.index.query(query_set, query.sigma_low, query.sigma_high)
+        truth = {
+            sid for sid, _ in self.oracle.query(query_set, query.sigma_low, query.sigma_high)
+        }
+        quality = evaluate_query(result.answer_sids, result.candidates, truth)
+        if measure_scan:
+            scan_result = self.scan.query(query_set, query.sigma_low, query.sigma_high)
+            scan_io, scan_cpu = scan_result.io_time, scan_result.cpu_time
+        else:
+            scan_io = scan_cpu = 0.0
+        return QueryRecord(
+            query=query,
+            n_truth=len(truth),
+            n_candidates=quality.n_candidates,
+            n_answers=quality.n_answers,
+            recall=quality.recall,
+            precision=quality.precision,
+            index_io_time=result.io_time,
+            index_cpu_time=result.cpu_time,
+            scan_io_time=scan_io,
+            scan_cpu_time=scan_cpu,
+        )
+
+    def run(
+        self, queries: Sequence[RangeQuery], measure_scan: bool = True
+    ) -> list[QueryRecord]:
+        return [self.run_query(q, measure_scan) for q in queries]
+
+    def bucket_summaries(
+        self,
+        records: Sequence[QueryRecord],
+        buckets=PAPER_BUCKETS,
+    ) -> list[BucketSummary]:
+        """Group records into the paper's result-size buckets.
+
+        Classification follows the paper: by the *candidate* result
+        size as a fraction of the collection.  Queries falling outside
+        every bucket (e.g. > 35%) are dropped, as in the paper.
+        """
+        n = max(1, self.index.n_sets)
+        grouped: dict[int, list[QueryRecord]] = {}
+        for record in records:
+            bucket = bucket_index(record.n_candidates / n, buckets)
+            if bucket is not None:
+                grouped.setdefault(bucket, []).append(record)
+        summaries = []
+        for i in range(len(buckets)):
+            members = grouped.get(i, [])
+            if not members:
+                summaries.append(
+                    BucketSummary(bucket_label(i, buckets), 0, *([float("nan")] * 6))
+                )
+                continue
+            summaries.append(
+                BucketSummary(
+                    label=bucket_label(i, buckets),
+                    n_queries=len(members),
+                    recall=float(np.mean([r.recall for r in members])),
+                    precision=float(np.mean([r.precision for r in members])),
+                    index_io_time=float(np.mean([r.index_io_time for r in members])),
+                    index_cpu_time=float(np.mean([r.index_cpu_time for r in members])),
+                    scan_io_time=float(np.mean([r.scan_io_time for r in members])),
+                    scan_cpu_time=float(np.mean([r.scan_cpu_time for r in members])),
+                )
+            )
+        return summaries

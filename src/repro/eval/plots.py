@@ -1,0 +1,84 @@
+"""ASCII rendering of the paper's bar figures.
+
+The evaluation tables are the data; these helpers render them the way
+the paper presents them -- grouped bars per result-size bucket -- using
+nothing but text, so benchmark output and EXPERIMENTS.md can show the
+*shape* of Fig. 6 and Fig. 7 without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 40
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = BAR_WIDTH,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``labels`` name the groups (rows); ``series`` maps a series name to
+    one value per group.  Bars share a common scale (the max across all
+    series), NaNs render as empty groups.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for {len(labels)} labels"
+            )
+    finite = [
+        v
+        for values in series.values()
+        for v in values
+        if v == v  # filters NaN
+    ]
+    peak = max(finite, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    name_width = max((len(n) for n in series), default=0)
+    lines = []
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            prefix = (label if j == 0 else "").ljust(label_width)
+            if value != value:  # NaN
+                lines.append(f"{prefix}  {name.ljust(name_width)}  (no queries)")
+                continue
+            filled = 0 if peak == 0 else round(width * value / peak)
+            bar = "#" * filled
+            lines.append(
+                f"{prefix}  {name.ljust(name_width)}  {bar} {fmt.format(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def fig6_ascii(summaries) -> str:
+    """Fig. 6-style precision/recall bars from BucketSummary rows."""
+    labels = [s.label for s in summaries]
+    return ascii_bars(
+        labels,
+        {
+            "precision": [s.precision for s in summaries],
+            "recall": [s.recall for s in summaries],
+        },
+    )
+
+
+def fig7_ascii(summaries) -> str:
+    """Fig. 7-style response-time bars (scan vs index) per bucket."""
+    labels = [s.label for s in summaries]
+    return ascii_bars(
+        labels,
+        {
+            "scan": [s.scan_time for s in summaries],
+            "index": [s.index_time for s in summaries],
+        },
+        fmt="{:,.0f}",
+    )

@@ -1,0 +1,33 @@
+"""Plain-text table formatting for experiment output.
+
+The paper reports its results as bar charts; we print the underlying
+rows (one per result-size bucket) so the benchmark harness can embed
+them in its output and EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    """Render one value: floats to 3 decimals, large floats with commas."""
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Align a header row and data rows into a fixed-width text table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

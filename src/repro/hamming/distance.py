@@ -1,0 +1,56 @@
+"""Hamming distance and similarity on packed bit vectors.
+
+Definition 3 of the paper: the Hamming distance of two binary vectors
+is the number of positions in which they differ.  Definition 4 defines
+Hamming similarity as the fraction of positions in which they agree:
+
+    S_H(h1, h2) = 1 - d_H(h1, h2) / t
+
+for vectors of dimension ``t``.  The filter indices are described in
+terms of similarity, so both forms are provided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _popcount(words: np.ndarray) -> np.ndarray:
+    """Per-word population count (numpy >= 2.0 provides bitwise_count)."""
+    return np.bitwise_count(words)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Hamming distance between two packed vectors of equal width."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(_popcount(a ^ b).sum())
+
+
+def hamming_distance_many(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Hamming distances between each row of a packed matrix and a query."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    query = np.asarray(query, dtype=np.uint64)
+    if matrix.ndim != 2 or query.ndim != 1 or matrix.shape[1] != query.shape[0]:
+        raise ValueError(
+            f"expected (N, W) matrix and (W,) query, got {matrix.shape} and {query.shape}"
+        )
+    return _popcount(matrix ^ query[np.newaxis, :]).sum(axis=1).astype(np.int64)
+
+
+def hamming_similarity(a: np.ndarray, b: np.ndarray, n_bits: int) -> float:
+    """Hamming similarity (Definition 4) of two packed ``n_bits`` vectors."""
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    return 1.0 - hamming_distance(a, b) / n_bits
+
+
+def hamming_similarity_many(
+    matrix: np.ndarray, query: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Hamming similarity of each row of a packed matrix to a query."""
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    return 1.0 - hamming_distance_many(matrix, query) / n_bits

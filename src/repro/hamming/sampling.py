@@ -1,0 +1,60 @@
+"""Random bit-position sampling for filter-index hash keys.
+
+The Similarity Filter Index (Section 4.1) builds each of its ``l`` hash
+tables from a fixed random sample of ``r`` of the ``D`` bit positions.
+Two vectors with Hamming similarity ``s`` agree on all ``r`` sampled
+positions with probability ``s ** r`` (positions are sampled uniformly
+with replacement, matching the analysis of Equation 4), which is what
+turns the hash table into a probabilistic filter.
+
+A :class:`BitSampler` freezes one such sample and extracts the sampled
+bits of any packed vector into a compact ``bytes`` key suitable for
+hashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitSampler:
+    """Extracts ``r`` fixed random bit positions from packed vectors.
+
+    Parameters
+    ----------
+    n_bits:
+        Dimensionality ``D`` of the Hamming space.
+    r:
+        Number of positions to sample.
+    rng:
+        Source of randomness used once, at construction, to freeze the
+        sample.  The same sampler must be applied to both the data and
+        the query vectors.
+    """
+
+    def __init__(self, n_bits: int, r: int, rng: np.random.Generator):
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive, got {n_bits}")
+        if r <= 0:
+            raise ValueError(f"r must be positive, got {r}")
+        self.n_bits = n_bits
+        self.r = r
+        # Sampling with replacement matches the s**r collision analysis
+        # exactly and permits r > n_bits.
+        self.positions = rng.integers(0, n_bits, size=r, dtype=np.int64)
+        self._word_index = (self.positions // 64).astype(np.int64)
+        self._bit_offset = (self.positions % 64).astype(np.uint64)
+
+    def key(self, vector: np.ndarray) -> bytes:
+        """Hash key of a single packed vector: its sampled bits, packed."""
+        bits = (vector[self._word_index] >> self._bit_offset) & np.uint64(1)
+        return np.packbits(bits.astype(np.uint8)).tobytes()
+
+    def keys(self, matrix: np.ndarray) -> list[bytes]:
+        """Hash keys for every row of a packed matrix (vectorized)."""
+        bits = (matrix[:, self._word_index] >> self._bit_offset) & np.uint64(1)
+        packed = np.packbits(bits.astype(np.uint8), axis=1)
+        return [row.tobytes() for row in packed]
+
+    def __repr__(self) -> str:
+        return f"BitSampler(n_bits={self.n_bits}, r={self.r})"

@@ -1,0 +1,33 @@
+"""Set-mining primitives built on the similarity index.
+
+Section 1 of the paper positions similarity range retrieval as "a
+primitive for effective similarity based query processing on sets ...
+a basis for the development of efficient set mining algorithms such as
+clustering algorithms for sets, classification algorithms based on set
+similarity as well as join algorithms."  This subpackage delivers those
+algorithms on top of :class:`repro.core.index.SetSimilarityIndex`:
+
+* :mod:`repro.mining.join` -- similarity self-join (all pairs above a
+  threshold) with an exact baseline for comparison.
+* :mod:`repro.mining.topk` -- top-k most-similar retrieval by
+  descending threshold probing.
+* :mod:`repro.mining.clustering` -- leader-follower clustering (the
+  "what's related" feature) and nearest-neighbour classification.
+* :mod:`repro.mining.neighbors` -- nearest and furthest neighbour (the
+  Section 7 LSH / Ind00 connections).
+"""
+
+from repro.mining.clustering import classify_nearest, leader_clustering
+from repro.mining.join import exact_self_join, similarity_self_join
+from repro.mining.neighbors import furthest_neighbor, nearest_neighbor
+from repro.mining.topk import top_k_similar
+
+__all__ = [
+    "classify_nearest",
+    "exact_self_join",
+    "furthest_neighbor",
+    "leader_clustering",
+    "nearest_neighbor",
+    "similarity_self_join",
+    "top_k_similar",
+]

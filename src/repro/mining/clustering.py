@@ -1,0 +1,79 @@
+"""Clustering and classification over the similarity index.
+
+Section 1: "a clustering operation based on set similarity could
+identify clusters of web pages which are similar but not copies of
+each other" and "classification algorithms based on set similarity".
+
+* :func:`leader_clustering` -- single-pass leader-follower clustering:
+  each unassigned set becomes a leader and absorbs everything at least
+  ``threshold``-similar, using one index probe per cluster.
+* :func:`classify_nearest` -- nearest-neighbour classification: label a
+  query by majority vote over its top-k indexed neighbours.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.index import SetSimilarityIndex
+from repro.mining.topk import top_k_similar
+
+
+def leader_clustering(
+    index: SetSimilarityIndex,
+    sets: Sequence[frozenset],
+    threshold: float,
+) -> list[list[int]]:
+    """Partition the indexed collection into similarity clusters.
+
+    Greedy leader-follower: iterate sids in order; an unassigned sid
+    leads a new cluster containing every unassigned set at least
+    ``threshold``-similar to it.  One index probe per cluster, so the
+    cost is ``O(n_clusters)`` probes rather than ``O(n^2)`` pairwise
+    similarities.
+
+    Clusters are returned largest-first; singleton clusters are sets
+    the filters related to nothing (including genuine outliers).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    unassigned = set(range(len(sets)))
+    clusters: list[list[int]] = []
+    for leader in range(len(sets)):
+        if leader not in unassigned:
+            continue
+        result = index.query_above(sets[leader], threshold)
+        members = ({sid for sid, _ in result.answers} | {leader}) & unassigned
+        unassigned -= members
+        clusters.append(sorted(members))
+    clusters.sort(key=len, reverse=True)
+    return clusters
+
+
+def classify_nearest(
+    index: SetSimilarityIndex,
+    labels: Sequence[Hashable],
+    elements: Iterable,
+    k: int = 5,
+    floor: float = 0.0,
+) -> Hashable | None:
+    """Label a query set by majority vote of its k nearest neighbours.
+
+    ``labels[sid]`` is the class of indexed set ``sid``.  Returns None
+    when the index finds no neighbour at or above ``floor`` (an
+    "unclassifiable" outcome the caller can handle explicitly).
+    Ties break toward the more similar class (first encountered in
+    descending-similarity order).
+    """
+    neighbours = top_k_similar(index, elements, k=k, floor=floor)
+    if not neighbours:
+        return None
+    votes: Counter = Counter()
+    order: dict[Hashable, int] = {}
+    for rank, (sid, _) in enumerate(neighbours):
+        label = labels[sid]
+        votes[label] += 1
+        order.setdefault(label, rank)
+    best = max(votes.items(), key=lambda item: (item[1], -order[item[0]]))
+    return best[0]

@@ -1,0 +1,59 @@
+"""Nearest- and furthest-neighbour retrieval.
+
+Section 7 connects the paper to Indyk-Motwani locality-sensitive
+hashing (nearest neighbour) and to Indyk's reduction from *furthest*
+neighbour to nearest neighbour "using a method similar to our
+Dissimilarity Filter Index".  Both queries fall out of the range
+primitive:
+
+* nearest: descend the similarity cut points with ``query_above``
+  until something answers (the k=1 case of :mod:`repro.mining.topk`);
+* furthest: ascend with ``query_below`` -- each probe is exactly the
+  DFI/complement trick of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.index import SetSimilarityIndex
+from repro.mining.topk import top_k_similar
+
+
+def nearest_neighbor(
+    index: SetSimilarityIndex,
+    elements: Iterable,
+    floor: float = 0.0,
+    include_self: bool = True,
+) -> tuple[int, float] | None:
+    """The most similar indexed set (approximate; verified similarity).
+
+    Returns None when nothing at or above ``floor`` is found.
+    """
+    top = top_k_similar(index, elements, k=1, floor=floor, include_self=include_self)
+    return top[0] if top else None
+
+
+def furthest_neighbor(
+    index: SetSimilarityIndex,
+    elements: Iterable,
+) -> tuple[int, float] | None:
+    """The *least* similar indexed set (approximate; verified).
+
+    Walks the plan's cut points from the bottom with ``query_below``;
+    the first non-empty answer contains the furthest sets the filters
+    can see, and its minimum-similarity member is returned.  The final
+    fallback range [0, 1] guarantees an answer on non-empty indexes.
+    """
+    query_set = frozenset(elements)
+    if index.n_sets == 0:
+        return None
+    ceilings = sorted(index.plan.cut_points) + [1.0]
+    for ceiling in ceilings:
+        result = index.query_below(query_set, ceiling)
+        if result.answers:
+            sid, similarity = min(
+                result.answers, key=lambda pair: (pair[1], pair[0])
+            )
+            return sid, similarity
+    return None

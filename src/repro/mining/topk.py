@@ -1,0 +1,67 @@
+"""Top-k most-similar retrieval by descending threshold probing.
+
+The index answers *range* queries; k-nearest-neighbour retrieval (the
+recommendation query of Section 1) reduces to probing successively
+lower similarity thresholds until k verified answers accumulate.  The
+probe thresholds walk the index's own cut points -- each step reuses
+exactly the filter structures the optimizer built, so no new machinery
+is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.index import SetSimilarityIndex
+
+
+def top_k_similar(
+    index: SetSimilarityIndex,
+    elements: Iterable,
+    k: int,
+    floor: float = 0.0,
+    include_self: bool = True,
+) -> list[tuple[int, float]]:
+    """The (approximately) k most similar indexed sets to a query.
+
+    Probes ``query_above`` at the index's cut points from the highest
+    down, stopping once k answers (with similarity above ``floor``)
+    have been verified.  Results are exact similarities in descending
+    order; like every index answer they may miss filter false
+    negatives, so this is "top-k of what the index can see".
+
+    Parameters
+    ----------
+    floor:
+        Do not descend below this similarity (also bounds the work on
+        queries with fewer than k genuinely similar neighbours).
+    include_self:
+        When the query set is itself indexed, whether to count it.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not 0.0 <= floor <= 1.0:
+        raise ValueError(f"floor must be in [0, 1], got {floor}")
+    query_set = frozenset(elements)
+    thresholds = sorted(
+        (c for c in index.plan.cut_points if c >= floor), reverse=True
+    )
+    thresholds.append(floor)
+    found: dict[int, float] = {}
+    for threshold in thresholds:
+        result = index.query_above(query_set, threshold)
+        for sid, similarity in result.answers:
+            if similarity >= floor:
+                found[sid] = similarity
+        if not include_self:
+            matches = [s for s in found if index.store.get(s) != query_set]
+        else:
+            matches = list(found)
+        if len(matches) >= k:
+            break
+    ranked = sorted(found.items(), key=lambda pair: (-pair[1], pair[0]))
+    if not include_self:
+        ranked = [
+            (sid, sim) for sid, sim in ranked if index.store.get(sid) != query_set
+        ]
+    return ranked[:k]

@@ -1,0 +1,161 @@
+"""Extendible hashing -- a fully dynamic bucket directory.
+
+The paper leans on its primitives being "fully dynamic" hash indices.
+The static :class:`~repro.storage.hashtable.BucketHashTable` handles
+growth with overflow chains, which degrade toward linear scans under
+sustained inserts.  Extendible hashing (Fagin et al.) is the classic
+fix: a directory of ``2^g`` pointers into shared buckets, where a full
+bucket *splits* (doubling the directory only when the bucket's local
+depth catches up), keeping every probe at exactly one bucket page with
+no chains, for any insert sequence.
+
+The table stores ``(fingerprint, value)`` entries like the static
+variant and shares its I/O accounting discipline: a probe charges one
+random page read; splits charge the pages they write.
+"""
+
+from __future__ import annotations
+
+from repro.storage.hashtable import hash_key
+from repro.storage.pager import PageManager
+
+
+class _Bucket:
+    __slots__ = ("local_depth", "page_id", "entries")
+
+    def __init__(self, local_depth: int, page_id: int):
+        self.local_depth = local_depth
+        self.page_id = page_id
+        self.entries: list[tuple[int, object]] = []
+
+
+class ExtendibleHashTable:
+    """Extendible hash table from byte keys to values.
+
+    Parameters
+    ----------
+    pager:
+        Page source / I/O accounting.  Each bucket occupies one page;
+        bucket capacity comes from the pager's page size at 16 bytes
+        per entry (matching the static table's record format).
+    initial_depth:
+        Starting global depth ``g`` (directory size ``2^g``).
+    """
+
+    def __init__(self, pager: PageManager, initial_depth: int = 1):
+        if initial_depth < 0:
+            raise ValueError(f"initial_depth must be >= 0, got {initial_depth}")
+        self.pager = pager
+        self.capacity = pager.capacity_for(16)
+        self.global_depth = initial_depth
+        unique = _Bucket(0, self._new_page())
+        # All directory slots share one bucket until it splits.
+        self._directory: list[_Bucket] = [unique] * (1 << initial_depth)
+        self._n_entries = 0
+
+    def _new_page(self) -> int:
+        return self.pager.allocate(self.capacity).page_id
+
+    @property
+    def n_entries(self) -> int:
+        """Number of stored entries."""
+        return self._n_entries
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of distinct buckets (directory slots may share)."""
+        return len({id(b) for b in self._directory})
+
+    @property
+    def directory_size(self) -> int:
+        """Directory slots: ``2 ** global_depth``."""
+        return len(self._directory)
+
+    def _slot(self, fingerprint: int) -> int:
+        return fingerprint & ((1 << self.global_depth) - 1)
+
+    #: Directory growth cap: beyond 2^24 slots a full bucket overflows
+    #: softly instead of splitting (only reachable with pathological
+    #: key distributions, e.g. one key repeated past bucket capacity).
+    MAX_GLOBAL_DEPTH = 24
+
+    def insert(self, key: bytes, value) -> None:
+        """Add a (key, value) entry; duplicates are stored as given."""
+        fingerprint = hash_key(key)
+        while True:
+            bucket = self._directory[self._slot(fingerprint)]
+            splittable = (
+                self.global_depth < self.MAX_GLOBAL_DEPTH
+                or bucket.local_depth < self.global_depth
+            ) and any(fp != bucket.entries[0][0] for fp, _ in bucket.entries[1:])
+            if len(bucket.entries) < self.capacity or not splittable:
+                self.pager.read(bucket.page_id, sequential=False)
+                bucket.entries.append((fingerprint, value))
+                self.pager.write(bucket.page_id)
+                self._n_entries += 1
+                return
+            self._split(bucket)
+
+    def _split(self, bucket: _Bucket) -> None:
+        """Split a full bucket, doubling the directory if needed."""
+        if bucket.local_depth == self.global_depth:
+            self._directory = self._directory + self._directory
+            self.global_depth += 1
+        bucket.local_depth += 1
+        sibling = _Bucket(bucket.local_depth, self._new_page())
+        # Entries whose discriminating bit is 1 move to the sibling.
+        bit = 1 << (bucket.local_depth - 1)
+        keep, move = [], []
+        for entry in bucket.entries:
+            (move if entry[0] & bit else keep).append(entry)
+        bucket.entries = keep
+        sibling.entries = move
+        # Redirect the directory slots that now address the sibling.
+        mask = (1 << bucket.local_depth) - 1
+        sibling_pattern = self._pattern_of(bucket) | bit
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket and (slot & mask) == sibling_pattern:
+                self._directory[slot] = sibling
+        self.pager.write(bucket.page_id)
+        self.pager.write(sibling.page_id)
+
+    def _pattern_of(self, bucket: _Bucket) -> int:
+        """The low ``local_depth - 1`` bits shared by the bucket's slots."""
+        for slot, candidate in enumerate(self._directory):
+            if candidate is bucket:
+                return slot & ((1 << (bucket.local_depth - 1)) - 1)
+        raise RuntimeError("bucket not referenced by the directory")
+
+    def probe(self, key: bytes) -> list:
+        """Values stored under ``key`` -- always one page read."""
+        fingerprint = hash_key(key)
+        bucket = self._directory[self._slot(fingerprint)]
+        self.pager.read(bucket.page_id, sequential=False)
+        return [value for fp, value in bucket.entries if fp == fingerprint]
+
+    def delete(self, key: bytes, value) -> bool:
+        """Remove one (key, value) entry; returns whether one existed.
+
+        Buckets are not merged on deletion (the standard simplification;
+        space is reclaimed on rebuild).
+        """
+        fingerprint = hash_key(key)
+        bucket = self._directory[self._slot(fingerprint)]
+        self.pager.read(bucket.page_id, sequential=False)
+        target = (fingerprint, value)
+        try:
+            bucket.entries.remove(target)
+        except ValueError:
+            return False
+        self.pager.write(bucket.page_id)
+        self._n_entries -= 1
+        return True
+
+    def items(self):
+        """All (fingerprint, value) entries (testing aid)."""
+        seen = set()
+        for bucket in self._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            yield from bucket.entries

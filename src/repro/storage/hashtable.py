@@ -1,0 +1,130 @@
+"""Paged bucket hash table -- the filter indices' building block.
+
+Section 4.1 builds each filter index out of plain hash tables: keys are
+the ``r`` sampled bits of a vector, values are set identifiers, and a
+bucket holds up to ``sid_count`` identifiers per page.  The paper sizes
+the table so bucket overflows are rare; we nevertheless support
+overflow chains so the structure stays correct for any input.
+
+The table is fully dynamic (insert and delete), which is what lets the
+paper claim the overall index "readily supports dynamic operations".
+
+Each stored entry is a ``(fingerprint, sid)`` pair of 16 bytes.  The
+fingerprint is a 64-bit hash of the full key; matching on it avoids
+returning sids that merely share a bucket (a modulo collision) while
+keeping entries fixed-size.  Probes charge one random read for the
+first bucket page and sequential reads for overflow pages, which are
+assumed to be allocated adjacently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.storage.pager import PageManager
+
+#: Bytes per (fingerprint, sid) entry; determines slots per page.
+ENTRY_BYTES = 16
+
+
+def hash_key(key: bytes) -> int:
+    """Stable 64-bit hash of a key (independent of PYTHONHASHSEED)."""
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "little")
+
+
+class BucketHashTable:
+    """A disk-simulated hash table from byte keys to set identifiers.
+
+    Parameters
+    ----------
+    pager:
+        Page source; also supplies the I/O accounting.
+    n_buckets:
+        Number of hash buckets.  The paper chooses enough buckets that
+        no overflows occur; a sensible choice is
+        ``ceil(expected_entries / slots_per_page)``.
+    """
+
+    def __init__(self, pager: PageManager, n_buckets: int):
+        if n_buckets <= 0:
+            raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+        self.pager = pager
+        self.n_buckets = n_buckets
+        self.slots_per_page = pager.capacity_for(ENTRY_BYTES)
+        # Chains of page ids per bucket; pages allocated lazily.
+        self._chains: list[list[int]] = [[] for _ in range(n_buckets)]
+        self._n_entries = 0
+
+    @property
+    def n_entries(self) -> int:
+        """Number of stored (key, sid) entries."""
+        return self._n_entries
+
+    @property
+    def n_pages(self) -> int:
+        """Pages across all bucket chains."""
+        return sum(len(chain) for chain in self._chains)
+
+    def _bucket_of(self, key: bytes) -> tuple[int, int]:
+        fingerprint = hash_key(key)
+        return fingerprint % self.n_buckets, fingerprint
+
+    def insert(self, key: bytes, sid: int) -> None:
+        """Add a (key, sid) entry.  Duplicates are stored as given."""
+        bucket, fingerprint = self._bucket_of(key)
+        chain = self._chains[bucket]
+        if chain:
+            last = self.pager.read(chain[-1], sequential=False)
+        else:
+            last = None
+        if last is None or last.is_full:
+            last = self.pager.allocate(self.slots_per_page)
+            chain.append(last.page_id)
+        last.append((fingerprint, sid))
+        self.pager.write(last.page_id)
+        self._n_entries += 1
+
+    def probe(self, key: bytes) -> list[int]:
+        """Return the sids stored under ``key``.
+
+        Charges one random read for the bucket's head page and one
+        sequential read per overflow page.
+        """
+        bucket, fingerprint = self._bucket_of(key)
+        sids: list[int] = []
+        for rank, page_id in enumerate(self._chains[bucket]):
+            page = self.pager.read(page_id, sequential=rank > 0)
+            sids.extend(sid for fp, sid in page.slots if fp == fingerprint)
+        return sids
+
+    def delete(self, key: bytes, sid: int) -> bool:
+        """Remove one (key, sid) entry; returns whether one was found."""
+        bucket, fingerprint = self._bucket_of(key)
+        chain = self._chains[bucket]
+        target = (fingerprint, sid)
+        for rank, page_id in enumerate(chain):
+            page = self.pager.read(page_id, sequential=rank > 0)
+            if target not in page.slots:
+                continue
+            index = page.slots.index(target)
+            # Compact: move the chain's globally last entry into the hole.
+            last_page = self.pager.read(chain[-1], sequential=True)
+            moved = last_page.slots.pop()
+            if not (page is last_page and index == len(last_page.slots)):
+                # Unless the popped entry *was* the hole, fill the hole.
+                page.slots[index] = moved
+                self.pager.write(page.page_id)
+            if not last_page.slots:
+                self.pager.free(chain.pop())
+            else:
+                self.pager.write(last_page.page_id)
+            self._n_entries -= 1
+            return True
+        return False
+
+    def items(self):
+        """Iterate over all (fingerprint, sid) entries (testing aid)."""
+        for chain in self._chains:
+            for page_id in chain:
+                page = self.pager.read(page_id, sequential=True)
+                yield from page.slots

@@ -1,0 +1,147 @@
+"""Page allocation and access accounting.
+
+Pages are the unit of I/O in the simulated storage engine.  A
+:class:`Page` holds a bounded number of fixed-size slots; capacity in
+slots is derived from a byte budget so that, e.g., a 4 KiB page holds
+512 eight-byte set elements or 256 sixteen-byte (key-fingerprint, sid)
+hash entries -- mirroring the paper's ``sid_count`` bucket capacity.
+
+The :class:`PageManager` hands out pages and routes every read through
+the shared :class:`~repro.storage.iomodel.IOCostModel` so that callers
+cannot touch a page without it being accounted.
+
+An optional LRU buffer pool (``cache_pages > 0``) absorbs repeated
+reads: a hit costs nothing, a miss is charged and cached.  The default
+is no cache -- the paper's cost analysis charges every bucket access --
+but the pool lets experiments quantify how much a warm buffer changes
+the scan/index trade-off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.storage.iomodel import IOCostModel
+
+#: Default page size in bytes (a common DBMS page size).
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Page:
+    """A fixed-capacity container of record slots."""
+
+    __slots__ = ("page_id", "capacity", "slots")
+
+    def __init__(self, page_id: int, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"page capacity must be positive, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.slots: list[Any] = []
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every slot is occupied."""
+        return len(self.slots) >= self.capacity
+
+    def append(self, record: Any) -> int:
+        """Store a record, returning its slot number."""
+        if self.is_full:
+            raise ValueError(f"page {self.page_id} is full")
+        self.slots.append(record)
+        return len(self.slots) - 1
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+class PageManager:
+    """Allocates pages and accounts their accesses.
+
+    Parameters
+    ----------
+    io:
+        The shared cost model.  Several components (filter indices, the
+        set store, the scan baseline) typically share one ``PageManager``
+        so that a query's total cost accumulates in one place.
+    page_size:
+        Page size in bytes, used by :meth:`capacity_for` to derive slot
+        counts from record sizes.
+    cache_pages:
+        Capacity of the LRU buffer pool in pages; 0 (default) disables
+        caching so every read is charged.
+    """
+
+    def __init__(
+        self,
+        io: IOCostModel | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 0,
+    ):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        if cache_pages < 0:
+            raise ValueError(f"cache_pages must be non-negative, got {cache_pages}")
+        self.io = io if io is not None else IOCostModel()
+        self.page_size = page_size
+        self.cache_pages = cache_pages
+        self._cache: OrderedDict[int, None] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+
+    def capacity_for(self, record_bytes: int) -> int:
+        """Slots per page for records of ``record_bytes`` bytes."""
+        if record_bytes <= 0:
+            raise ValueError(f"record_bytes must be positive, got {record_bytes}")
+        return max(1, self.page_size // record_bytes)
+
+    def allocate(self, capacity: int) -> Page:
+        """Create a new page with room for ``capacity`` slots."""
+        page = Page(self._next_id, capacity)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        self.io.write()
+        return page
+
+    def read(self, page_id: int, sequential: bool = False) -> Page:
+        """Fetch a page, charging one random (default) or sequential read.
+
+        With a buffer pool configured, a cached page costs nothing and
+        is refreshed in LRU order.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            raise KeyError(f"no such page: {page_id}")
+        if self.cache_pages:
+            if page_id in self._cache:
+                self._cache.move_to_end(page_id)
+                self.cache_hits += 1
+                return page
+            self.cache_misses += 1
+            self._cache[page_id] = None
+            if len(self._cache) > self.cache_pages:
+                self._cache.popitem(last=False)
+        if sequential:
+            self.io.read_sequential()
+        else:
+            self.io.read_random()
+        return page
+
+    def write(self, page_id: int) -> None:
+        """Charge one page write (the page object is mutated in place)."""
+        if page_id not in self._pages:
+            raise KeyError(f"no such page: {page_id}")
+        self.io.write()
+
+    def free(self, page_id: int) -> None:
+        """Release a page (and drop it from the buffer pool)."""
+        del self._pages[page_id]
+        self._cache.pop(page_id, None)
+
+    @property
+    def n_pages(self) -> int:
+        """Number of live pages."""
+        return len(self._pages)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import planted_clusters
+from repro.data.weblog import make_weblog_collection
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pager():
+    return PageManager(IOCostModel())
+
+
+@pytest.fixture(scope="session")
+def clustered_sets():
+    """Small collection with planted high-similarity clusters."""
+    return planted_clusters(
+        n_clusters=12, per_cluster=10, base_size=30, universe=2000, mutation_rate=0.15, seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def weblog_sets():
+    """Small weblog surrogate with realistic similarity spread."""
+    return make_weblog_collection(n_sets=240, seed=8)

@@ -1,0 +1,176 @@
+"""Unit tests for the baselines (scan, inverted index, naive embedding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.inverted_index import InvertedIndex
+from repro.baselines.naive_embedding import NaiveBinaryEmbedder, embedding_distortion
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.embedding import SetEmbedder
+from repro.core.similarity import jaccard
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+from repro.storage.setstore import SetStore
+
+small_collections = st.lists(
+    st.frozensets(st.integers(0, 40), min_size=1, max_size=10), min_size=1, max_size=12
+)
+
+
+def _store_with(sets):
+    store = SetStore(PageManager(IOCostModel()))
+    store.insert_many(sets)
+    return store
+
+
+class TestSequentialScan:
+    def test_exactness(self, clustered_sets):
+        sets = clustered_sets[:40]
+        scan = SequentialScan(_store_with(sets))
+        q = sets[0]
+        result = scan.query(q, 0.3, 1.0)
+        expected = {
+            sid for sid, s in enumerate(sets) if 0.3 <= jaccard(s, q) <= 1.0
+        }
+        assert result.answer_sids == expected
+
+    def test_candidates_are_everything(self, clustered_sets):
+        sets = clustered_sets[:20]
+        scan = SequentialScan(_store_with(sets))
+        result = scan.query(sets[0], 0.9, 1.0)
+        assert result.candidates == set(range(20))
+
+    def test_sequential_io_only(self, clustered_sets):
+        sets = clustered_sets[:20]
+        scan = SequentialScan(_store_with(sets))
+        result = scan.query(sets[0], 0.0, 1.0)
+        assert result.io.random_reads == 0
+        assert result.io.sequential_reads >= 20
+
+    def test_cpu_charged_per_set(self, clustered_sets):
+        sets = clustered_sets[:10]
+        scan = SequentialScan(_store_with(sets))
+        result = scan.query(sets[0], 0.0, 1.0)
+        assert result.io.cpu_ops >= sum(len(s) for s in sets)
+
+    def test_invalid_range(self, clustered_sets):
+        scan = SequentialScan(_store_with(clustered_sets[:5]))
+        with pytest.raises(ValueError):
+            scan.query({1}, 0.9, 0.1)
+
+    def test_time_flat_across_ranges(self, clustered_sets):
+        """Scan cost is range-independent (the Fig. 7 flat bars)."""
+        sets = clustered_sets[:30]
+        scan = SequentialScan(_store_with(sets))
+        t1 = scan.query(sets[0], 0.9, 1.0).io_time
+        t2 = scan.query(sets[0], 0.0, 0.1).io_time
+        assert t1 == pytest.approx(t2)
+
+
+class TestInvertedIndex:
+    def test_similarities_exact(self):
+        sets = [frozenset({1, 2, 3}), frozenset({3, 4}), frozenset({9})]
+        index = InvertedIndex(sets)
+        sims = index.similarities({2, 3})
+        assert sims[0] == pytest.approx(2 / 3)
+        assert sims[1] == pytest.approx(1 / 3)
+        assert 2 not in sims  # disjoint -> absent
+
+    def test_query_range(self):
+        sets = [frozenset({1, 2, 3}), frozenset({3, 4}), frozenset({9})]
+        index = InvertedIndex(sets)
+        answers = index.query({2, 3}, 0.5, 1.0)
+        assert answers == [(0, pytest.approx(2 / 3))]
+
+    def test_zero_low_includes_disjoint(self):
+        sets = [frozenset({1}), frozenset({2})]
+        index = InvertedIndex(sets)
+        answers = dict(index.query({1}, 0.0, 1.0))
+        assert answers == {0: 1.0, 1: 0.0}
+
+    def test_empty_query_empty_sets(self):
+        index = InvertedIndex()
+        empty_sid = index.insert(frozenset())
+        other = index.insert({1})
+        answers = dict(index.query(frozenset(), 0.5, 1.0))
+        assert answers == {empty_sid: 1.0}
+        answers = dict(index.query(frozenset(), 0.0, 1.0))
+        assert answers[other] == 0.0
+
+    def test_delete(self):
+        index = InvertedIndex([{1, 2}, {2, 3}])
+        index.delete(0, {1, 2})
+        assert index.n_sets == 1
+        assert 0 not in index.similarities({1, 2})
+        with pytest.raises(KeyError):
+            index.delete(0, {1, 2})
+
+    def test_postings_count(self):
+        index = InvertedIndex([{1, 2}, {2, 3}])
+        assert index.n_postings == 4
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            InvertedIndex([{1}]).query({1}, 0.9, 0.1)
+
+    @given(small_collections, st.frozensets(st.integers(0, 40), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force(self, sets, query):
+        index = InvertedIndex(sets)
+        got = dict(index.query(query, 0.2, 0.9))
+        expected = {
+            sid: jaccard(s, query)
+            for sid, s in enumerate(sets)
+            if 0.2 <= jaccard(s, query) <= 0.9
+        }
+        assert got.keys() == expected.keys()
+        for sid in got:
+            assert got[sid] == pytest.approx(expected[sid])
+
+
+class TestNaiveEmbedding:
+    def test_dimension(self):
+        naive = NaiveBinaryEmbedder(k=10, b=6)
+        assert naive.dimension == 60
+
+    def test_identical_signatures_identical_vectors(self):
+        naive = NaiveBinaryEmbedder(k=8, b=6, seed=1)
+        sig = np.arange(8, dtype=np.uint64)
+        assert np.array_equal(naive.embed_signature(sig), naive.embed_signature(sig))
+
+    def test_example_1_structure(self):
+        """Example 1 rebuilt: naive Hamming similarity exceeds the
+        signature similarity relationship the ECC embedding enforces."""
+        naive = NaiveBinaryEmbedder(k=4, b=3)
+        sig_a = np.array([7, 3, 5, 1], dtype=np.uint64)
+        sig_b = np.array([3, 3, 5, 3], dtype=np.uint64)
+        s, s_h = embedding_distortion(naive, sig_a, sig_b)
+        assert s == pytest.approx(0.5)
+        assert s_h == pytest.approx(10 / 12)  # the paper's 0.83
+
+    def test_ecc_distortion_is_zero(self):
+        """The ECC embedding sits exactly on S_H = (1+s)/2."""
+        ecc = SetEmbedder(k=32, b=6, seed=2)
+        rng = np.random.default_rng(3)
+        sig_a = rng.integers(0, 64, size=32, dtype=np.uint64)
+        sig_b = sig_a.copy()
+        sig_b[:8] = (sig_b[:8] + 1) % 64  # 25% disagreement
+        s, s_h = embedding_distortion(ecc, sig_a, sig_b)
+        assert s_h == pytest.approx((1 + s) / 2)
+
+    def test_naive_distortion_varies_with_values(self):
+        """Same signature similarity, different Hamming similarity --
+        the data dependence that makes the naive embedding unusable."""
+        naive = NaiveBinaryEmbedder(k=2, b=6)
+        base = np.array([0, 0], dtype=np.uint64)
+        close = np.array([1, 1], dtype=np.uint64)   # differ in 1 bit each
+        far = np.array([63, 63], dtype=np.uint64)   # differ in all 6 bits
+        _, s_h_close = embedding_distortion(naive, base, close)
+        _, s_h_far = embedding_distortion(naive, base, far)
+        assert s_h_close != s_h_far
+
+    def test_embed_accepts_sets(self):
+        naive = NaiveBinaryEmbedder(k=8, b=6, seed=4)
+        assert naive.embed({1, 2, 3}).shape == (1,)

@@ -1,0 +1,151 @@
+"""Unit tests for packed bit-vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.bitvector import (
+    WORD_BITS,
+    complement,
+    get_bit,
+    n_words,
+    pack_bits,
+    set_bit,
+    unpack_bits,
+)
+
+bit_arrays = st.integers(min_value=1, max_value=300).flatmap(
+    lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n)
+)
+
+
+class TestNWords:
+    def test_exact_multiple(self):
+        assert n_words(128) == 2
+
+    def test_rounds_up(self):
+        assert n_words(65) == 2
+
+    def test_zero(self):
+        assert n_words(0) == 0
+
+    def test_one(self):
+        assert n_words(1) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            n_words(-1)
+
+
+class TestPackUnpack:
+    def test_single_bit(self):
+        words = pack_bits(np.array([1], dtype=np.uint8))
+        assert words.shape == (1,)
+        assert int(words[0]) == 1
+
+    def test_bit_position_convention(self):
+        bits = np.zeros(70, dtype=np.uint8)
+        bits[3] = 1
+        bits[64] = 1
+        words = pack_bits(bits)
+        assert int(words[0]) == 1 << 3
+        assert int(words[1]) == 1
+
+    def test_matrix_pack(self):
+        bits = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (2, 1)
+        assert int(words[0, 0]) == 0b101
+        assert int(words[1, 0]) == 0b110
+
+    def test_unpack_matrix(self):
+        bits = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 3), bits)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros((2, 2, 2)))
+
+    @given(bit_arrays)
+    @settings(max_examples=50)
+    def test_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(arr), len(bits)), arr)
+
+    @given(bit_arrays)
+    @settings(max_examples=25)
+    def test_padding_is_zero(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        words = pack_bits(arr)
+        total_ones = int(np.bitwise_count(words).sum())
+        assert total_ones == int(arr.sum())
+
+
+class TestComplement:
+    def test_flips_valid_bits(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        flipped = unpack_bits(complement(pack_bits(bits), 5), 5)
+        assert np.array_equal(flipped, 1 - bits)
+
+    def test_padding_stays_zero(self):
+        bits = np.ones(70, dtype=np.uint8)
+        words = complement(pack_bits(bits), 70)
+        # All valid bits were 1 -> complement has zero popcount overall.
+        assert int(np.bitwise_count(words).sum()) == 0
+
+    def test_involution(self):
+        bits = np.array([1, 0, 0, 1, 1, 0, 1], dtype=np.uint8)
+        words = pack_bits(bits)
+        twice = complement(complement(words, 7), 7)
+        assert np.array_equal(twice, words)
+
+    def test_exact_word_multiple(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        words = complement(pack_bits(bits), 64)
+        assert int(words[0]) == 0xFFFFFFFFFFFFFFFF
+
+    def test_matrix(self):
+        bits = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        flipped = unpack_bits(complement(pack_bits(bits), 2), 2)
+        assert np.array_equal(flipped, 1 - bits)
+
+    @given(bit_arrays)
+    @settings(max_examples=25)
+    def test_popcounts_sum_to_n(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        words = pack_bits(arr)
+        comp = complement(words, len(bits))
+        ones = int(np.bitwise_count(words).sum())
+        comp_ones = int(np.bitwise_count(comp).sum())
+        assert ones + comp_ones == len(bits)
+
+
+class TestGetSetBit:
+    def test_get(self):
+        bits = np.zeros(130, dtype=np.uint8)
+        bits[129] = 1
+        words = pack_bits(bits)
+        assert get_bit(words, 129) == 1
+        assert get_bit(words, 0) == 0
+
+    def test_set_then_get(self):
+        words = pack_bits(np.zeros(100, dtype=np.uint8))
+        set_bit(words, 77, 1)
+        assert get_bit(words, 77) == 1
+        set_bit(words, 77, 0)
+        assert get_bit(words, 77) == 0
+
+    def test_set_does_not_disturb_neighbours(self):
+        words = pack_bits(np.ones(64, dtype=np.uint8))
+        set_bit(words, 10, 0)
+        assert get_bit(words, 9) == 1
+        assert get_bit(words, 11) == 1
+        assert int(np.bitwise_count(words).sum()) == 63
+
+    @given(st.integers(0, 199), st.integers(0, 1))
+    @settings(max_examples=30)
+    def test_set_get_roundtrip(self, position, value):
+        words = pack_bits(np.zeros(200, dtype=np.uint8))
+        set_bit(words, position, value)
+        assert get_bit(words, position) == value

@@ -1,0 +1,221 @@
+"""Unit tests for the B-tree (insert, search, delete, range scans)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BTree, _lower_bound
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+def _tree(min_degree=2, cache="inner"):
+    return BTree(PageManager(IOCostModel()), min_degree=min_degree, cache=cache)
+
+
+def _check_invariants(tree):
+    """Structural invariants: key ordering, node fill, uniform depth."""
+    t = tree.t
+    depths = []
+
+    def visit(node, lo, hi, depth, is_root):
+        assert node.keys == sorted(node.keys)
+        for key in node.keys:
+            assert (lo is None or key > lo) and (hi is None or key < hi)
+        if not is_root:
+            assert t - 1 <= len(node.keys) <= 2 * t - 1
+        else:
+            assert len(node.keys) <= 2 * t - 1
+        if node.is_leaf:
+            depths.append(depth)
+            return
+        assert len(node.children) == len(node.keys) + 1
+        bounds = [lo, *node.keys, hi]
+        for i, child in enumerate(node.children):
+            visit(child, bounds[i], bounds[i + 1], depth + 1, False)
+
+    visit(tree._root, None, None, 0, True)
+    assert len(set(depths)) == 1  # all leaves at the same depth
+
+
+class TestLowerBound:
+    def test_empty(self):
+        assert _lower_bound([], 5) == 0
+
+    def test_positions(self):
+        keys = [10, 20, 30]
+        assert _lower_bound(keys, 5) == 0
+        assert _lower_bound(keys, 10) == 0
+        assert _lower_bound(keys, 15) == 1
+        assert _lower_bound(keys, 30) == 2
+        assert _lower_bound(keys, 35) == 3
+
+
+class TestBasicOperations:
+    def test_insert_search(self):
+        tree = _tree()
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        tree.insert(8, "eight")
+        assert tree.search(5) == "five"
+        assert tree.search(3) == "three"
+        assert tree.n_keys == 3
+
+    def test_search_missing(self):
+        tree = _tree()
+        tree.insert(1, "x")
+        with pytest.raises(KeyError):
+            tree.search(2)
+
+    def test_contains(self):
+        tree = _tree()
+        tree.insert(7, None)
+        assert 7 in tree
+        assert 8 not in tree
+
+    def test_update_existing_key(self):
+        tree = _tree()
+        tree.insert(1, "old")
+        tree.insert(1, "new")
+        assert tree.search(1) == "new"
+        assert tree.n_keys == 1
+
+    def test_update_in_deep_tree(self):
+        tree = _tree(min_degree=2)
+        for i in range(50):
+            tree.insert(i, i)
+        tree.insert(25, "replaced")
+        assert tree.search(25) == "replaced"
+        assert tree.n_keys == 50
+
+    def test_many_inserts_sorted_items(self):
+        tree = _tree(min_degree=3)
+        keys = list(range(200))
+        np.random.default_rng(0).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 2)
+        assert [k for k, _ in tree.items()] == list(range(200))
+        assert tree.n_keys == 200
+        _check_invariants(tree)
+
+    def test_height_grows_logarithmically(self):
+        tree = _tree(min_degree=2)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height <= 7  # log_2-ish of 100 with t=2
+
+    def test_invalid_min_degree(self):
+        with pytest.raises(ValueError):
+            _tree(min_degree=1)
+
+
+class TestRangeScan:
+    def test_range_inclusive(self):
+        tree = _tree(min_degree=2)
+        for i in range(0, 100, 10):
+            tree.insert(i, str(i))
+        got = list(tree.range_scan(20, 50))
+        assert got == [(20, "20"), (30, "30"), (40, "40"), (50, "50")]
+
+    def test_range_empty(self):
+        tree = _tree()
+        tree.insert(1, "a")
+        assert list(tree.range_scan(5, 9)) == []
+
+    def test_range_whole_tree(self):
+        tree = _tree(min_degree=2)
+        keys = [3, 1, 4, 1, 5, 9, 2, 6]
+        for k in keys:
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range_scan(0, 10)]
+        assert got == sorted(set(keys))
+
+
+class TestDelete:
+    def test_delete_leaf_key(self):
+        tree = _tree()
+        for i in range(10):
+            tree.insert(i, i)
+        tree.delete(9)
+        assert 9 not in tree
+        assert tree.n_keys == 9
+        _check_invariants(tree)
+
+    def test_delete_missing_raises(self):
+        tree = _tree()
+        tree.insert(1, 1)
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_everything(self):
+        tree = _tree(min_degree=2)
+        keys = list(range(60))
+        np.random.default_rng(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        np.random.default_rng(2).shuffle(keys)
+        for k in keys:
+            tree.delete(k)
+            _check_invariants(tree)
+        assert tree.n_keys == 0
+        assert list(tree.items()) == []
+
+    def test_delete_internal_keys(self):
+        tree = _tree(min_degree=2)
+        for i in range(30):
+            tree.insert(i, i)
+        # Root/internal keys exercise predecessor/successor replacement.
+        root_keys = list(tree._root.keys)
+        for k in root_keys:
+            tree.delete(k)
+            _check_invariants(tree)
+        assert all(k not in tree for k in root_keys)
+
+    def test_root_shrinks(self):
+        tree = _tree(min_degree=2)
+        for i in range(20):
+            tree.insert(i, i)
+        height_before = tree.height
+        for i in range(18):
+            tree.delete(i)
+        assert tree.height <= height_before
+        _check_invariants(tree)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_model(self, keys):
+        tree = _tree(min_degree=2)
+        model = {}
+        for k in keys:
+            tree.insert(k, k * 3)
+            model[k] = k * 3
+        assert sorted(model.items()) == list(tree.items())
+        _check_invariants(tree)
+        for k in list(model)[::2]:
+            tree.delete(k)
+            del model[k]
+        assert sorted(model.items()) == list(tree.items())
+        _check_invariants(tree)
+
+
+class TestIOAccounting:
+    def test_cached_inner_charges_leaf_only(self):
+        tree = _tree(min_degree=2, cache="inner")
+        for i in range(100):
+            tree.insert(i, i)
+        io = tree.pager.io
+        before = io.snapshot()
+        tree.search(50)
+        delta = io.snapshot() - before
+        assert delta.random_reads == 1
+
+    def test_uncached_charges_full_path(self):
+        tree = _tree(min_degree=2, cache="none")
+        for i in range(100):
+            tree.insert(i, i)
+        io = tree.pager.io
+        before = io.snapshot()
+        tree.search(50)
+        delta = io.snapshot() - before
+        assert delta.random_reads == tree.height

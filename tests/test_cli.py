@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, read_sets
+
+
+@pytest.fixture
+def sets_file(tmp_path):
+    path = tmp_path / "sets.txt"
+    path.write_text(
+        "apple banana cherry\n"
+        "banana cherry date\n"
+        "\n"  # blank lines are skipped
+        "x y z\n"
+        "apple banana cherry date\n"
+    )
+    return path
+
+
+class TestReadSets:
+    def test_parses_lines(self, sets_file):
+        sets = read_sets(sets_file)
+        assert len(sets) == 4
+        assert sets[0] == frozenset({"apple", "banana", "cherry"})
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError):
+            read_sets(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(
+            ["build", "--input", "a.txt", "--output", "b.ssi"]
+        )
+        assert args.budget == 500
+        assert args.recall == 0.9
+
+
+class TestEndToEnd:
+    def test_build_query_stats(self, sets_file, tmp_path, capsys):
+        index_path = tmp_path / "demo.ssi"
+        rc = main(
+            [
+                "build",
+                "--input", str(sets_file),
+                "--output", str(index_path),
+                "--budget", "20",
+                "--k", "16",
+            ]
+        )
+        assert rc == 0
+        assert index_path.exists()
+        out = capsys.readouterr().out
+        assert "indexed 4 sets" in out
+
+        rc = main(
+            [
+                "query",
+                "--index", str(index_path),
+                "--set", "apple banana cherry",
+                "--low", "0.9",
+                "--high", "1.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0\t1.0000" in out
+
+        rc = main(["stats", "--index", str(index_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sets indexed:      4" in out
+
+    def test_demo_command(self, capsys):
+        rc = main(["demo", "--n-sets", "60"])
+        assert rc == 0
+        assert "demo index" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Unit tests for workload generation (datasets and queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import jaccard
+from repro.data.generators import (
+    expected_cluster_similarity,
+    planted_clusters,
+    uniform_random_sets,
+    zipf_sets,
+)
+from repro.data.queries import (
+    PAPER_BUCKETS,
+    QueryWorkload,
+    RangeQuery,
+    bucket_index,
+    bucket_label,
+    ground_truth,
+)
+from repro.data.weblog import make_set1, make_set2, make_weblog_collection
+
+
+class TestUniformRandomSets:
+    def test_shape(self):
+        sets = uniform_random_sets(10, universe=100, set_size=5, seed=0)
+        assert len(sets) == 10
+        assert all(len(s) == 5 for s in sets)
+
+    def test_deterministic(self):
+        assert uniform_random_sets(5, 50, 4, seed=1) == uniform_random_sets(5, 50, 4, seed=1)
+
+    def test_low_similarity(self):
+        sets = uniform_random_sets(20, universe=10000, set_size=10, seed=2)
+        sims = [jaccard(sets[i], sets[j]) for i in range(10) for j in range(i + 1, 10)]
+        assert max(sims) < 0.2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            uniform_random_sets(1, universe=5, set_size=10)
+
+
+class TestZipfSets:
+    def test_popular_elements_shared(self):
+        sets = zipf_sets(50, universe=1000, set_size=30, exponent=1.2, seed=3)
+        counts = {}
+        for s in sets:
+            for e in s:
+                counts[e] = counts.get(e, 0) + 1
+        # The most popular element appears in most sets.
+        assert max(counts.values()) > 25
+
+    def test_similarity_positive_typically(self):
+        sets = zipf_sets(20, universe=5000, set_size=40, exponent=1.1, seed=4)
+        sims = [jaccard(sets[0], s) for s in sets[1:]]
+        assert np.mean(sims) > 0.0
+
+
+class TestPlantedClusters:
+    def test_counts(self):
+        sets = planted_clusters(4, 5, base_size=20, universe=1000, seed=5)
+        assert len(sets) == 20
+
+    def test_within_cluster_similarity_matches_formula(self):
+        mu = 0.2
+        sets = planted_clusters(6, 8, base_size=60, universe=5000, mutation_rate=mu, seed=6)
+        within = []
+        for c in range(6):
+            members = sets[c * 8 : (c + 1) * 8]
+            within.extend(
+                jaccard(members[i], members[j])
+                for i in range(8)
+                for j in range(i + 1, 8)
+            )
+        assert np.mean(within) == pytest.approx(expected_cluster_similarity(mu), abs=0.05)
+
+    def test_cross_cluster_similarity_near_zero(self):
+        sets = planted_clusters(4, 4, base_size=40, universe=10000, seed=7)
+        cross = [jaccard(sets[0], sets[5]), jaccard(sets[1], sets[10])]
+        assert max(cross) < 0.1
+
+    def test_zero_mutation_identical(self):
+        sets = planted_clusters(2, 3, base_size=10, universe=100, mutation_rate=0.0, seed=8)
+        assert sets[0] == sets[1] == sets[2]
+
+    def test_full_mutation_dissimilar(self):
+        sets = planted_clusters(1, 2, base_size=30, universe=10000, mutation_rate=1.0, seed=9)
+        assert jaccard(sets[0], sets[1]) < 0.05
+
+    def test_invalid_mutation(self):
+        with pytest.raises(ValueError):
+            planted_clusters(1, 1, 5, 100, mutation_rate=1.5)
+
+    def test_expected_similarity_endpoints(self):
+        assert expected_cluster_similarity(0.0) == 1.0
+        assert expected_cluster_similarity(1.0) == 0.0
+
+
+class TestWeblog:
+    def test_sizes_reasonable(self):
+        sets = make_weblog_collection(n_sets=100, seed=1)
+        assert len(sets) == 100
+        sizes = [len(s) for s in sets]
+        assert 10 < np.mean(sizes) < 200
+        assert all(len(s) > 0 for s in sets)
+
+    def test_deterministic(self):
+        assert make_weblog_collection(20, seed=3) == make_weblog_collection(20, seed=3)
+
+    def test_similarity_spread(self):
+        """The point of the surrogate: D_S has both near-zero and
+        genuinely similar mass (unlike independent random sets)."""
+        sets = make_weblog_collection(n_sets=150, n_templates=10, seed=2)
+        rng = np.random.default_rng(0)
+        sims = []
+        for _ in range(800):
+            i, j = rng.choice(len(sets), size=2, replace=False)
+            sims.append(jaccard(sets[i], sets[j]))
+        sims = np.array(sims)
+        assert (sims < 0.1).mean() > 0.3   # plenty of dissimilar pairs
+        assert (sims > 0.3).mean() > 0.02  # and a similar tail
+
+    def test_presets(self):
+        s1 = make_set1(50)
+        s2 = make_set2(50)
+        assert len(s1) == len(s2) == 50
+        # Set2 uses a broader universe and bigger sets.
+        assert np.mean([len(s) for s in s2]) > np.mean([len(s) for s in s1])
+
+    def test_invalid_n_sets(self):
+        with pytest.raises(ValueError):
+            make_weblog_collection(0)
+
+
+class TestBuckets:
+    def test_paper_bucket_edges(self):
+        assert bucket_index(0.001) == 0
+        assert bucket_index(0.03) == 1
+        assert bucket_index(0.07) == 2
+        assert bucket_index(0.2) == 3
+        assert bucket_index(0.3) == 4
+        assert bucket_index(0.5) is None
+
+    def test_labels(self):
+        assert bucket_label(0) == "0-0.5%"
+        assert bucket_label(4) == "25-35%"
+
+    def test_bucket_count(self):
+        assert len(PAPER_BUCKETS) == 5
+
+
+class TestQueryWorkload:
+    def test_deterministic(self):
+        a = QueryWorkload(100, seed=5).sample(10)
+        b = QueryWorkload(100, seed=5).sample(10)
+        assert a == b
+
+    def test_ranges_valid(self):
+        for q in QueryWorkload(50, seed=6).sample(100):
+            assert 0 <= q.set_index < 50
+            assert 0.0 <= q.sigma_low <= q.sigma_high <= 1.0
+
+    def test_min_width_enforced(self):
+        for q in QueryWorkload(50, seed=7, min_width=0.1).sample(100):
+            assert q.sigma_high - q.sigma_low >= 0.1 - 1e-9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(0)
+        with pytest.raises(ValueError):
+            QueryWorkload(10, min_width=2.0)
+
+    def test_iter_queries(self):
+        wl = QueryWorkload(10, seed=1)
+        assert len(list(wl.iter_queries(5))) == 5
+
+
+class TestGroundTruth:
+    def test_matches_brute_force(self):
+        sets = planted_clusters(3, 4, base_size=20, universe=500, seed=10)
+        query = RangeQuery(0, 0.3, 1.0)
+        expected = {
+            i for i, s in enumerate(sets) if 0.3 <= jaccard(s, sets[0]) <= 1.0
+        }
+        assert ground_truth(sets, query) == expected
+
+    def test_with_precomputed_similarities(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3}), frozenset({9})]
+        sims = np.array([1.0, 1 / 3, 0.0])
+        assert ground_truth(sets, RangeQuery(0, 0.3, 1.0), sims) == {0, 1}

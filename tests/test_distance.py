@@ -1,0 +1,130 @@
+"""Unit tests for Hamming distance/similarity (Definitions 3, 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamming.bitvector import complement, pack_bits
+from repro.hamming.distance import (
+    hamming_distance,
+    hamming_distance_many,
+    hamming_similarity,
+    hamming_similarity_many,
+)
+
+
+def _pair(n):
+    return st.tuples(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+    )
+
+
+pairs = st.integers(min_value=1, max_value=200).flatmap(_pair)
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        v = pack_bits(np.array([1, 0, 1, 1], dtype=np.uint8))
+        assert hamming_distance(v, v) == 0
+
+    def test_known_value(self):
+        a = pack_bits(np.array([1, 0, 1, 0], dtype=np.uint8))
+        b = pack_bits(np.array([0, 0, 1, 1], dtype=np.uint8))
+        assert hamming_distance(a, b) == 2
+
+    def test_shape_mismatch(self):
+        a = pack_bits(np.zeros(64, dtype=np.uint8))
+        b = pack_bits(np.zeros(128, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            hamming_distance(a, b)
+
+    def test_complement_distance_is_n(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        v = pack_bits(bits)
+        assert hamming_distance(v, complement(v, 7)) == 7
+
+    @given(pairs)
+    @settings(max_examples=50)
+    def test_matches_naive(self, pair):
+        a_bits, b_bits = pair
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        naive = sum(x != y for x, y in zip(a_bits, b_bits))
+        assert hamming_distance(a, b) == naive
+
+    @given(pairs)
+    @settings(max_examples=30)
+    def test_symmetry(self, pair):
+        a_bits, b_bits = pair
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+
+class TestHammingDistanceMany:
+    def test_rows(self):
+        matrix = pack_bits(
+            np.array([[1, 0, 1], [0, 0, 0], [1, 1, 1]], dtype=np.uint8)
+        )
+        query = pack_bits(np.array([1, 1, 1], dtype=np.uint8))
+        assert hamming_distance_many(matrix, query).tolist() == [1, 3, 0]
+
+    def test_empty_matrix(self):
+        matrix = np.empty((0, 1), dtype=np.uint64)
+        query = np.zeros(1, dtype=np.uint64)
+        assert hamming_distance_many(matrix, query).shape == (0,)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            hamming_distance_many(np.zeros(3, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+
+class TestHammingSimilarity:
+    def test_identical_is_one(self):
+        v = pack_bits(np.array([1, 0, 1], dtype=np.uint8))
+        assert hamming_similarity(v, v, 3) == 1.0
+
+    def test_complement_is_zero(self):
+        v = pack_bits(np.array([1, 0, 1, 0, 1], dtype=np.uint8))
+        assert hamming_similarity(v, complement(v, 5), 5) == 0.0
+
+    def test_half(self):
+        a = pack_bits(np.array([1, 1, 0, 0], dtype=np.uint8))
+        b = pack_bits(np.array([1, 0, 1, 0], dtype=np.uint8))
+        assert hamming_similarity(a, b, 4) == 0.5
+
+    def test_invalid_n_bits(self):
+        v = pack_bits(np.array([1], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            hamming_similarity(v, v, 0)
+
+    def test_many_matches_scalar(self):
+        bits = np.array([[1, 0, 1, 1], [0, 0, 0, 0]], dtype=np.uint8)
+        matrix = pack_bits(bits)
+        query = pack_bits(np.array([1, 1, 1, 1], dtype=np.uint8))
+        many = hamming_similarity_many(matrix, query, 4)
+        singles = [hamming_similarity(matrix[i], query, 4) for i in range(2)]
+        assert many.tolist() == singles
+
+    @given(pairs)
+    @settings(max_examples=30)
+    def test_bounds(self, pair):
+        a_bits, b_bits = pair
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        s = hamming_similarity(a, b, len(a_bits))
+        assert 0.0 <= s <= 1.0
+
+    @given(pairs)
+    @settings(max_examples=30)
+    def test_definition_4(self, pair):
+        """S_H = 1 - d_H / t exactly."""
+        a_bits, b_bits = pair
+        t = len(a_bits)
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        assert hamming_similarity(a, b, t) == pytest.approx(
+            1.0 - hamming_distance(a, b) / t
+        )

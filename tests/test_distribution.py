@@ -1,0 +1,182 @@
+"""Unit tests for the similarity distribution D_S (Section 5, Lemma 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import (
+    SimilarityDistribution,
+    sample_pairwise_similarities,
+    signature_pairwise_similarities,
+)
+from repro.core.minhash import MinHasher
+from repro.core.similarity import jaccard
+
+
+def _three_sets():
+    # Pairwise similarities: (A,B) = 1/3, (A,C) = 0, (B,C) = 0.
+    a = frozenset({1, 2})
+    b = frozenset({2, 3})
+    c = frozenset({10, 11, 12})
+    return [a, b, c]
+
+
+class TestConstruction:
+    def test_exact_histogram(self):
+        dist = SimilarityDistribution.from_sets(_three_sets(), n_bins=10)
+        assert dist.total_mass == pytest.approx(3.0)  # 3 pairs
+        assert dist.mass_between(0.3, 0.4) == pytest.approx(1.0)  # the 1/3 pair
+        assert dist.mass[0] == pytest.approx(2.0)  # the two disjoint pairs
+
+    def test_total_mass_is_pair_count(self):
+        sets = [frozenset({i, i + 1}) for i in range(8)]
+        dist = SimilarityDistribution.from_sets(sets, n_bins=20)
+        assert dist.total_mass == pytest.approx(8 * 7 / 2)
+
+    def test_sampled_scales_to_total(self):
+        sets = [frozenset({i, i + 1, i + 2}) for i in range(30)]
+        dist = SimilarityDistribution.from_sets(sets, n_bins=20, sample_pairs=100)
+        assert dist.total_mass == pytest.approx(30 * 29 / 2)
+
+    def test_signature_estimation_path(self):
+        sets = [frozenset(range(i, i + 20)) for i in range(0, 200, 5)]
+        hasher = MinHasher(k=64, seed=1)
+        dist = SimilarityDistribution.from_sets(
+            sets, n_bins=20, sample_pairs=200, hasher=hasher
+        )
+        assert dist.total_mass == pytest.approx(len(sets) * (len(sets) - 1) / 2)
+
+    def test_single_set_collection(self):
+        dist = SimilarityDistribution.from_sets([frozenset({1})], n_bins=10)
+        assert dist.total_mass == 0.0
+
+    def test_from_values(self):
+        dist = SimilarityDistribution.from_values(np.array([0.1, 0.1, 0.9]), 3, n_bins=10)
+        assert dist.mass[1] == pytest.approx(2.0)
+        assert dist.mass[-1] == pytest.approx(1.0)
+
+    def test_similarity_one_lands_in_last_bin(self):
+        dist = SimilarityDistribution.from_values(np.array([1.0]), 2, n_bins=10)
+        assert dist.mass[-1] == pytest.approx(1.0)
+
+    def test_invalid_mass(self):
+        with pytest.raises(ValueError):
+            SimilarityDistribution(np.array([-1.0, 2.0]), 2)
+        with pytest.raises(ValueError):
+            SimilarityDistribution(np.array([]), 0)
+
+
+class TestQueries:
+    def test_mass_between_whole_range(self):
+        dist = SimilarityDistribution.from_sets(_three_sets(), n_bins=10)
+        assert dist.mass_between(0.0, 1.0) == pytest.approx(dist.total_mass)
+
+    def test_mass_between_interpolates(self):
+        dist = SimilarityDistribution(np.array([10.0]), 5)  # one bin over [0,1]
+        assert dist.mass_between(0.0, 0.5) == pytest.approx(5.0)
+        assert dist.mass_between(0.25, 0.75) == pytest.approx(5.0)
+
+    def test_mass_between_invalid(self):
+        dist = SimilarityDistribution(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            dist.mass_between(0.8, 0.2)
+
+    def test_quantile_bounds(self):
+        dist = SimilarityDistribution.from_sets(_three_sets(), n_bins=10)
+        assert dist.quantile(0.0) == pytest.approx(0.0)
+        assert 0.0 <= dist.quantile(0.5) <= 1.0
+        assert dist.quantile(1.0) <= 1.0
+
+    def test_quantile_invalid(self):
+        dist = SimilarityDistribution(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_quantile_monotone(self, q1, q2):
+        rng = np.random.default_rng(0)
+        dist = SimilarityDistribution(rng.random(50) * 10, 100)
+        lo, hi = sorted((q1, q2))
+        assert dist.quantile(lo) <= dist.quantile(hi) + 1e-12
+
+    @given(st.floats(0.01, 0.99))
+    @settings(max_examples=50)
+    def test_quantile_inverts_cdf(self, q):
+        rng = np.random.default_rng(1)
+        dist = SimilarityDistribution(rng.random(40) + 0.1, 100)
+        s = dist.quantile(q)
+        assert dist.mass_between(0.0, s) == pytest.approx(q * dist.total_mass, rel=1e-6)
+
+
+class TestEquidepth:
+    def test_equidepth_masses_equal(self):
+        """Definition 10: each interval holds total/k pair mass."""
+        rng = np.random.default_rng(2)
+        dist = SimilarityDistribution(rng.random(100) + 0.05, 200)
+        k = 5
+        points = dist.equidepth_points(k)
+        bounds = [0.0, *points, 1.0]
+        target = dist.total_mass / k
+        for i in range(k):
+            assert dist.mass_between(bounds[i], bounds[i + 1]) == pytest.approx(
+                target, rel=1e-6
+            )
+
+    def test_equidepth_point_count(self):
+        dist = SimilarityDistribution(np.ones(10), 50)
+        assert len(dist.equidepth_points(4)) == 3
+        assert dist.equidepth_points(1) == []
+
+    def test_equidepth_invalid(self):
+        dist = SimilarityDistribution(np.ones(10), 50)
+        with pytest.raises(ValueError):
+            dist.equidepth_points(0)
+
+    def test_delta_split_balances(self):
+        """Equation 15: equal mass on either side of delta."""
+        rng = np.random.default_rng(3)
+        dist = SimilarityDistribution(rng.random(64) + 0.01, 100)
+        delta = dist.delta_split()
+        left = dist.mass_between(0.0, delta)
+        right = dist.mass_between(delta, 1.0)
+        assert left == pytest.approx(right, rel=1e-6)
+
+    def test_skewed_distribution_quantiles_cluster(self):
+        """A point mass at zero pulls every quantile into the first bin."""
+        mass = np.zeros(100)
+        mass[0] = 1000.0
+        mass[50] = 1.0
+        dist = SimilarityDistribution(mass, 100)
+        points = dist.equidepth_points(4)
+        assert all(p < 0.01 for p in points)
+
+
+class TestPairSampling:
+    def test_sample_values_are_valid_similarities(self):
+        sets = [frozenset(range(i, i + 5)) for i in range(20)]
+        values = sample_pairwise_similarities(sets, 200, np.random.default_rng(0))
+        assert len(values) == 200
+        assert np.all((values >= 0.0) & (values <= 1.0))
+
+    def test_sample_mean_matches_exhaustive(self):
+        sets = [frozenset(range(i, i + 10)) for i in range(0, 60, 3)]
+        exact = [
+            jaccard(sets[i], sets[j])
+            for i in range(len(sets))
+            for j in range(i + 1, len(sets))
+        ]
+        sampled = sample_pairwise_similarities(sets, 4000, np.random.default_rng(1))
+        assert abs(np.mean(sampled) - np.mean(exact)) < 0.02
+
+    def test_too_few_sets(self):
+        assert sample_pairwise_similarities([frozenset({1})], 10, np.random.default_rng(0)).size == 0
+
+    def test_signature_sampling_tracks_exact(self):
+        sets = [frozenset(range(i, i + 30)) for i in range(0, 100, 4)]
+        hasher = MinHasher(k=256, seed=2)
+        signatures = hasher.signature_matrix(sets)
+        est = signature_pairwise_similarities(signatures, 3000, np.random.default_rng(3))
+        exact = sample_pairwise_similarities(sets, 3000, np.random.default_rng(3))
+        assert abs(np.mean(est) - np.mean(exact)) < 0.03

@@ -1,0 +1,94 @@
+"""Tests for the shingled-document workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import jaccard
+from repro.data.documents import make_document_collection, shingles
+
+
+class TestShingles:
+    def test_basic(self):
+        assert shingles([1, 2, 3, 4], width=2) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_width_three(self):
+        assert shingles([1, 2, 3, 4], width=3) == {(1, 2, 3), (2, 3, 4)}
+
+    def test_short_document(self):
+        assert shingles([7], width=3) == {(7,)}
+
+    def test_repeated_tokens_collapse(self):
+        assert shingles([5, 5, 5, 5], width=2) == {(5, 5)}
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            shingles([1, 2], width=0)
+
+    def test_identical_documents_identical_shingles(self):
+        assert shingles([1, 2, 3], 2) == shingles([1, 2, 3], 2)
+
+
+class TestDocumentCollection:
+    def test_counts_and_nonempty(self):
+        docs = make_document_collection(n_documents=50, seed=1)
+        assert len(docs) == 50
+        assert all(docs)
+
+    def test_deterministic(self):
+        a = make_document_collection(n_documents=20, seed=2)
+        b = make_document_collection(n_documents=20, seed=2)
+        assert a == b
+
+    def test_near_duplicates_planted(self):
+        docs = make_document_collection(
+            n_documents=80, near_duplicate_rate=0.3, seed=3
+        )
+        best = 0.0
+        for i in range(len(docs)):
+            for j in range(i + 1, len(docs)):
+                best = max(best, jaccard(docs[i], docs[j]))
+                if best > 0.8:
+                    break
+        assert best > 0.8  # light edits leave most shingles shared
+
+    def test_no_duplicates_without_rate(self):
+        docs = make_document_collection(
+            n_documents=40, near_duplicate_rate=0.0, n_topics=8, seed=4
+        )
+        sims = [
+            jaccard(docs[i], docs[j])
+            for i in range(0, 40, 5)
+            for j in range(i + 1, 40, 7)
+        ]
+        assert max(sims) < 0.8
+
+    def test_topical_similarity_exceeds_cross_topic(self):
+        docs = make_document_collection(
+            n_documents=60, n_topics=2, near_duplicate_rate=0.0, seed=5
+        )
+        # With only 2 topics, some pairs share a topic: their shingle
+        # overlap should, on average, beat the global average.
+        rng = np.random.default_rng(0)
+        sims = []
+        for _ in range(300):
+            i, j = rng.choice(len(docs), size=2, replace=False)
+            sims.append(jaccard(docs[i], docs[j]))
+        sims = np.array(sims)
+        assert sims.max() > sims.mean()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_document_collection(n_documents=0)
+        with pytest.raises(ValueError):
+            make_document_collection(near_duplicate_rate=1.0)
+
+    def test_indexable_end_to_end(self):
+        """Shingle sets (tuples as elements) flow through the index."""
+        from repro.core.index import SetSimilarityIndex
+
+        docs = make_document_collection(
+            n_documents=40, near_duplicate_rate=0.2, seed=6
+        )
+        index = SetSimilarityIndex.build(docs, budget=30, recall_target=0.8, k=24, seed=7)
+        result = index.query_above(docs[0], 0.9)
+        assert 0 in result.answer_sids

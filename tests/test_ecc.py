@@ -1,0 +1,117 @@
+"""Unit tests for the Hadamard code (Section 3.2's ecc())."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecc import HadamardCode
+from repro.hamming.bitvector import unpack_bits
+from repro.hamming.distance import hamming_distance
+
+
+class TestCodeProperties:
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 5])
+    def test_all_pairwise_distances_exactly_half(self, b):
+        """The defining property: every distinct pair at distance m/2."""
+        code = HadamardCode(b)
+        bits = code.table_bits
+        for u in range(code.n_codewords):
+            for v in range(u + 1, code.n_codewords):
+                assert int(np.sum(bits[u] != bits[v])) == code.m // 2
+
+    def test_b6_sampled_pairs(self):
+        code = HadamardCode(6)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            u, v = rng.choice(64, size=2, replace=False)
+            d = int(np.sum(code.table_bits[u] != code.table_bits[v]))
+            assert d == 32
+
+    def test_zero_codeword_is_zero(self):
+        code = HadamardCode(4)
+        assert not code.table_bits[0].any()
+
+    def test_nonzero_codewords_balanced(self):
+        """Nonzero linear functionals are balanced: weight = m/2."""
+        code = HadamardCode(5)
+        weights = code.table_bits[1:].sum(axis=1)
+        assert np.all(weights == code.m // 2)
+
+    def test_linearity(self):
+        """c_u xor c_v == c_{u xor v} (the code is linear)."""
+        code = HadamardCode(4)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            u, v = rng.integers(0, 16, size=2)
+            lhs = code.table_bits[u] ^ code.table_bits[v]
+            assert np.array_equal(lhs, code.table_bits[u ^ v])
+
+    def test_distance_property_matches_attribute(self):
+        code = HadamardCode(3)
+        assert code.distance == code.m // 2 == 4
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            HadamardCode(0)
+        with pytest.raises(ValueError):
+            HadamardCode(17)
+
+
+class TestEncoding:
+    def test_encode_single_value_matches_table(self):
+        code = HadamardCode(6)
+        packed = code.encode(np.array([7], dtype=np.uint64))
+        assert np.array_equal(unpack_bits(packed, 64), code.table_bits[7])
+
+    def test_encode_concatenates(self):
+        code = HadamardCode(6)
+        values = np.array([3, 60, 0], dtype=np.uint64)
+        packed = code.encode(values)
+        bits = unpack_bits(packed, 3 * 64)
+        for i, v in enumerate(values):
+            assert np.array_equal(bits[i * 64 : (i + 1) * 64], code.table_bits[v])
+
+    def test_values_reduced_modulo_m(self):
+        code = HadamardCode(4)
+        a = code.encode(np.array([5], dtype=np.uint64))
+        b = code.encode(np.array([5 + 16], dtype=np.uint64))
+        assert np.array_equal(a, b)
+
+    def test_encode_many_matches_encode(self):
+        code = HadamardCode(6)
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(0, 64, size=(5, 7), dtype=np.uint64)
+        batch = code.encode_many(matrix)
+        for i in range(5):
+            assert np.array_equal(batch[i], code.encode(matrix[i]))
+
+    def test_small_m_path(self):
+        """For m < 64 codewords pack densely across word boundaries."""
+        code = HadamardCode(3)  # m = 8
+        values = np.array([1, 2, 3, 4, 5, 6, 7, 0], dtype=np.uint64)  # 64 bits total
+        packed = code.encode(values)
+        assert packed.shape == (1,)
+        bits = unpack_bits(packed, 64)
+        for i, v in enumerate(values):
+            assert np.array_equal(bits[i * 8 : (i + 1) * 8], code.table_bits[v])
+
+    def test_small_m_encode_many(self):
+        code = HadamardCode(2)  # m = 4
+        matrix = np.array([[0, 1], [2, 3]], dtype=np.uint64)
+        batch = code.encode_many(matrix)
+        assert batch.shape == (2, 1)
+        for i in range(2):
+            assert np.array_equal(batch[i], code.encode(matrix[i]))
+
+    def test_theorem1_distance_for_signatures(self):
+        """k-value signatures agreeing on a coordinates differ by
+        exactly (k - a) * m/2 bits after encoding."""
+        code = HadamardCode(5)
+        rng = np.random.default_rng(3)
+        k = 20
+        sig_a = rng.integers(0, 32, size=k, dtype=np.uint64)
+        sig_b = sig_a.copy()
+        disagree = [2, 7, 11]
+        for i in disagree:
+            sig_b[i] = (sig_b[i] + 1) % 32
+        d = hamming_distance(code.encode(sig_a), code.encode(sig_b))
+        assert d == len(disagree) * code.m // 2

@@ -1,0 +1,118 @@
+"""Unit tests for the set -> Hamming embedding (Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding import SetEmbedder, hamming_to_jaccard, jaccard_to_hamming
+from repro.hamming.distance import hamming_distance, hamming_similarity
+
+
+class TestConversions:
+    def test_endpoints(self):
+        assert jaccard_to_hamming(0.0) == 0.5
+        assert jaccard_to_hamming(1.0) == 1.0
+
+    def test_inverse_without_bias(self):
+        for s in (0.0, 0.25, 0.6, 1.0):
+            assert hamming_to_jaccard(jaccard_to_hamming(s)) == pytest.approx(s)
+
+    def test_inverse_with_bias(self):
+        for s in (0.0, 0.3, 0.9):
+            assert hamming_to_jaccard(jaccard_to_hamming(s, 6), 6) == pytest.approx(s)
+
+    def test_bias_increases_similarity(self):
+        assert jaccard_to_hamming(0.2, 4) > jaccard_to_hamming(0.2)
+
+    def test_clipping(self):
+        assert hamming_to_jaccard(0.3) == 0.0
+        assert hamming_to_jaccard(1.2) == 1.0
+
+    @given(st.floats(0.0, 1.0), st.sampled_from([None, 4, 6, 8]))
+    @settings(max_examples=50)
+    def test_monotone(self, s, b):
+        assert jaccard_to_hamming(s, b) <= jaccard_to_hamming(min(1.0, s + 0.1), b) + 1e-12
+
+
+class TestSetEmbedder:
+    def test_dimensions(self):
+        embedder = SetEmbedder(k=10, b=6)
+        assert embedder.m == 64
+        assert embedder.dimension == 640
+        assert embedder.n_words == 10
+
+    def test_embed_shape(self):
+        embedder = SetEmbedder(k=10, b=6)
+        assert embedder.embed({1, 2, 3}).shape == (10,)
+
+    def test_deterministic(self):
+        a = SetEmbedder(k=8, b=5, seed=3).embed({1, 2})
+        b = SetEmbedder(k=8, b=5, seed=3).embed({1, 2})
+        assert np.array_equal(a, b)
+
+    def test_embed_many_matches_embed(self):
+        embedder = SetEmbedder(k=6, b=6, seed=1)
+        sets = [frozenset({1, 2}), frozenset({3}), frozenset(range(20))]
+        matrix = embedder.embed_many(sets)
+        assert matrix.shape == (3, embedder.n_words)
+        for i, s in enumerate(sets):
+            assert np.array_equal(matrix[i], embedder.embed(s))
+
+    def test_embed_many_empty(self):
+        embedder = SetEmbedder(k=6, b=6)
+        assert embedder.embed_many([]).shape == (0, 6)
+
+    def test_identical_sets_identical_vectors(self):
+        embedder = SetEmbedder(k=16, b=6, seed=0)
+        assert hamming_distance(embedder.embed({5, 6}), embedder.embed({6, 5})) == 0
+
+    def test_theorem1_exact(self):
+        """d_H(h(V1), h(V2)) == (1 - s_hat)/2 * D *exactly*, where s_hat
+        is the fraction of agreeing (b-bit reduced) signature values."""
+        embedder = SetEmbedder(k=40, b=6, seed=5)
+        a = frozenset(range(60))
+        b = frozenset(range(30, 90))
+        sig_a = embedder.signature(a) % np.uint64(64)
+        sig_b = embedder.signature(b) % np.uint64(64)
+        s_hat = float(np.mean(sig_a == sig_b))
+        d = hamming_distance(embedder.embed(a), embedder.embed(b))
+        assert d == round((1.0 - s_hat) / 2.0 * embedder.dimension)
+
+    def test_hamming_similarity_tracks_jaccard(self):
+        """Statistically, S_H ~= (1 + s)/2 (+ small reduction bias)."""
+        embedder = SetEmbedder(k=400, b=8, seed=9)
+        a = frozenset(range(100))
+        b = frozenset(range(50, 150))  # jaccard = 50/150 = 1/3
+        s_h = hamming_similarity(embedder.embed(a), embedder.embed(b), embedder.dimension)
+        expected = jaccard_to_hamming(1 / 3, 8)
+        assert abs(s_h - expected) < 0.03
+
+    def test_disjoint_sets_near_half(self):
+        embedder = SetEmbedder(k=400, b=8, seed=2)
+        a = frozenset(range(100))
+        b = frozenset(range(1000, 1100))
+        s_h = hamming_similarity(embedder.embed(a), embedder.embed(b), embedder.dimension)
+        assert abs(s_h - 0.5) < 0.03
+
+    def test_embed_signature_matches_embed(self):
+        embedder = SetEmbedder(k=12, b=6, seed=4)
+        s = frozenset({10, 20, 30})
+        assert np.array_equal(
+            embedder.embed(s), embedder.embed_signature(embedder.signature(s))
+        )
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            SetEmbedder(k=4).embed(frozenset())
+
+    @given(
+        st.frozensets(st.integers(0, 200), min_size=1, max_size=40),
+        st.frozensets(st.integers(0, 200), min_size=1, max_size=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_similarity_in_upper_half(self, a, b):
+        """MinHash embeddings always land at Hamming similarity >= ~1/2."""
+        embedder = SetEmbedder(k=64, b=6, seed=1)
+        s_h = hamming_similarity(embedder.embed(a), embedder.embed(b), embedder.dimension)
+        assert s_h >= 0.5 - 0.12  # concentration tolerance for k=64

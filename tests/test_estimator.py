@@ -1,0 +1,124 @@
+"""Tests for the Chernoff-bound estimator analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    chernoff_error_bound,
+    estimate_interval,
+    estimator_standard_error,
+    required_signature_length,
+)
+from repro.core.minhash import MinHasher
+from repro.core.similarity import jaccard
+
+
+class TestChernoffBound:
+    def test_decreases_in_k(self):
+        bounds = [chernoff_error_bound(k, 0.1) for k in (10, 100, 1000)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_decreases_in_epsilon(self):
+        assert chernoff_error_bound(100, 0.2) < chernoff_error_bound(100, 0.05)
+
+    def test_capped_at_one(self):
+        assert chernoff_error_bound(1, 0.001) == 1.0
+
+    def test_known_value(self):
+        assert chernoff_error_bound(100, 0.1) == pytest.approx(2 * math.exp(-2.0))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chernoff_error_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_error_bound(10, 0.0)
+
+
+class TestRequiredLength:
+    def test_inverts_bound(self):
+        k = required_signature_length(0.1, 0.05)
+        assert chernoff_error_bound(k, 0.1) <= 0.05
+        assert chernoff_error_bound(k - 1, 0.1) > 0.05
+
+    def test_paper_k100_regime(self):
+        """k = 100 guarantees ~0.14 accuracy at 95% confidence."""
+        assert required_signature_length(0.14, 0.05) <= 100
+
+    def test_tighter_needs_more(self):
+        assert required_signature_length(0.01, 0.05) > required_signature_length(0.1, 0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            required_signature_length(0.0, 0.05)
+        with pytest.raises(ValueError):
+            required_signature_length(0.1, 1.0)
+
+
+class TestInterval:
+    def test_contains_estimate(self):
+        lo, hi = estimate_interval(0.5, 100)
+        assert lo < 0.5 < hi
+
+    def test_clipped(self):
+        lo, hi = estimate_interval(0.01, 10)
+        assert lo == 0.0
+        lo, hi = estimate_interval(0.99, 10)
+        assert hi == 1.0
+
+    def test_narrows_with_k(self):
+        lo1, hi1 = estimate_interval(0.5, 50)
+        lo2, hi2 = estimate_interval(0.5, 5000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_coverage_empirically(self):
+        """The 95% interval covers the truth in ~>= 95% of trials."""
+        a = frozenset(range(40))
+        b = frozenset(range(20, 60))
+        true = jaccard(a, b)
+        covered = 0
+        trials = 60
+        for seed in range(trials):
+            hasher = MinHasher(k=100, seed=seed)
+            est = hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
+            lo, hi = estimate_interval(est, 100, delta=0.05)
+            covered += lo <= true <= hi
+        assert covered / trials >= 0.9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            estimate_interval(1.5, 10)
+        with pytest.raises(ValueError):
+            estimate_interval(0.5, 0)
+        with pytest.raises(ValueError):
+            estimate_interval(0.5, 10, delta=0.0)
+
+
+class TestStandardError:
+    def test_maximal_at_half(self):
+        assert estimator_standard_error(0.5, 100) > estimator_standard_error(0.1, 100)
+
+    def test_zero_at_endpoints(self):
+        assert estimator_standard_error(0.0, 50) == 0.0
+        assert estimator_standard_error(1.0, 50) == 0.0
+
+    def test_matches_empirical_spread(self):
+        a = frozenset(range(30))
+        b = frozenset(range(15, 45))
+        true = jaccard(a, b)
+        estimates = []
+        for seed in range(40):
+            hasher = MinHasher(k=64, seed=seed)
+            estimates.append(
+                hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
+            )
+        empirical = float(np.std(estimates))
+        predicted = estimator_standard_error(true, 64)
+        assert empirical == pytest.approx(predicted, rel=0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            estimator_standard_error(-0.1, 10)
+        with pytest.raises(ValueError):
+            estimator_standard_error(0.5, 0)

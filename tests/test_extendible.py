@@ -1,0 +1,148 @@
+"""Tests for extendible hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.extendible import ExtendibleHashTable
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+def _table(page_size=64, initial_depth=1):
+    # page_size 64 -> 4 entries per bucket: splits happen fast.
+    pager = PageManager(IOCostModel(), page_size=page_size)
+    return ExtendibleHashTable(pager, initial_depth=initial_depth)
+
+
+class TestBasics:
+    def test_insert_probe(self):
+        table = _table()
+        table.insert(b"a", 1)
+        table.insert(b"b", 2)
+        assert table.probe(b"a") == [1]
+        assert table.probe(b"b") == [2]
+        assert table.probe(b"c") == []
+        assert table.n_entries == 2
+
+    def test_duplicates(self):
+        table = _table()
+        table.insert(b"k", 1)
+        table.insert(b"k", 1)
+        assert table.probe(b"k") == [1, 1]
+
+    def test_delete(self):
+        table = _table()
+        table.insert(b"k", 1)
+        table.insert(b"k", 2)
+        assert table.delete(b"k", 1)
+        assert table.probe(b"k") == [2]
+        assert not table.delete(b"k", 99)
+        assert table.n_entries == 1
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            ExtendibleHashTable(PageManager(IOCostModel()), initial_depth=-1)
+
+
+class TestSplitting:
+    def test_directory_grows_under_load(self):
+        table = _table(page_size=64)  # capacity 4
+        for i in range(200):
+            table.insert(str(i).encode(), i)
+        assert table.directory_size > 2
+        assert table.n_buckets > 1
+        # Every key still findable after all the splits.
+        for i in range(200):
+            assert table.probe(str(i).encode()) == [i]
+
+    def test_local_depths_bounded_by_global(self):
+        table = _table(page_size=64)
+        for i in range(100):
+            table.insert(str(i).encode(), i)
+        seen = set()
+        for bucket in table._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            assert bucket.local_depth <= table.global_depth
+
+    def test_no_bucket_overflows_normal_load(self):
+        table = _table(page_size=64)
+        for i in range(300):
+            table.insert(str(i).encode(), i)
+        seen = set()
+        for bucket in table._directory:
+            if id(bucket) in seen:
+                continue
+            seen.add(id(bucket))
+            assert len(bucket.entries) <= table.capacity
+
+    def test_same_key_overflow_does_not_explode(self):
+        """Duplicate keys cannot be split apart; the bucket must
+        overflow softly instead of doubling the directory forever."""
+        table = _table(page_size=64)
+        for i in range(50):
+            table.insert(b"hot", i)
+        assert table.n_entries == 50
+        assert sorted(table.probe(b"hot")) == list(range(50))
+        assert table.directory_size <= 2 ** ExtendibleHashTable.MAX_GLOBAL_DEPTH
+
+    def test_entries_preserved_through_splits(self):
+        table = _table(page_size=64)
+        inserted = {}
+        rng = np.random.default_rng(0)
+        for i in range(150):
+            key = f"key-{int(rng.integers(0, 40))}".encode()
+            table.insert(key, i)
+            inserted.setdefault(key, []).append(i)
+        for key, values in inserted.items():
+            assert sorted(table.probe(key)) == sorted(values)
+
+    def test_items_cover_everything(self):
+        table = _table(page_size=64)
+        for i in range(60):
+            table.insert(str(i).encode(), i)
+        assert len(list(table.items())) == 60
+
+
+class TestIOAccounting:
+    def test_probe_is_one_random_read(self):
+        table = _table(page_size=64)
+        for i in range(100):
+            table.insert(str(i).encode(), i)
+        io = table.pager.io
+        before = io.snapshot()
+        table.probe(b"17")
+        delta = io.snapshot() - before
+        assert delta.random_reads == 1
+        assert delta.sequential_reads == 0
+
+
+class TestAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h"]),
+                st.integers(0, 5),
+                st.booleans(),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, operations):
+        table = _table(page_size=64)
+        model: dict[bytes, list[int]] = {}
+        for key, value, is_insert in operations:
+            if is_insert:
+                table.insert(key, value)
+                model.setdefault(key, []).append(value)
+            else:
+                expected = value in model.get(key, [])
+                assert table.delete(key, value) == expected
+                if expected:
+                    model[key].remove(value)
+        for key in (b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h"):
+            assert sorted(table.probe(key)) == sorted(model.get(key, []))

@@ -1,0 +1,177 @@
+"""Unit tests for the SFI and DFI structures (Sections 4.1-4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIndex
+from repro.hamming.bitvector import complement, pack_bits
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+def _pager():
+    return PageManager(IOCostModel())
+
+
+def _random_vectors(n, n_bits, seed=0):
+    rng = np.random.default_rng(seed)
+    return pack_bits(rng.integers(0, 2, size=(n, n_bits)).astype(np.uint8))
+
+
+def _perturb(vector, n_bits, flips, seed=0):
+    rng = np.random.default_rng(seed)
+    bits = np.unpackbits(
+        vector.view(np.uint8), bitorder="little"
+    )[:n_bits].copy()
+    for pos in rng.choice(n_bits, size=flips, replace=False):
+        bits[pos] ^= 1
+    return pack_bits(bits)
+
+
+class TestSimilarityFilterIndex:
+    def test_identical_vector_always_found(self):
+        """A stored vector equal to the query collides in every table."""
+        n_bits = 256
+        sfi = SimilarityFilterIndex(0.8, 4, n_bits, _pager(), seed=1)
+        vectors = _random_vectors(10, n_bits)
+        for sid in range(10):
+            sfi.insert(vectors[sid], sid)
+        for sid in range(10):
+            assert sid in sfi.probe(vectors[sid])
+
+    def test_r_solves_threshold(self):
+        sfi = SimilarityFilterIndex(0.9, 16, 512, _pager())
+        assert sfi.r >= 1
+        assert sfi.filter.l == 16
+
+    def test_similar_found_dissimilar_not(self):
+        n_bits = 1024
+        sfi = SimilarityFilterIndex(0.85, 24, n_bits, _pager(), seed=3)
+        base = _random_vectors(1, n_bits, seed=4)[0]
+        near = _perturb(base, n_bits, flips=20, seed=5)    # ~0.98 similar
+        far = _perturb(base, n_bits, flips=512, seed=6)    # ~0.5 similar
+        sfi.insert(near, 1)
+        sfi.insert(far, 2)
+        hits = sfi.probe(base)
+        assert 1 in hits
+        assert 2 not in hits
+
+    def test_insert_many_matches_inserts(self):
+        n_bits = 128
+        vectors = _random_vectors(6, n_bits, seed=7)
+        a = SimilarityFilterIndex(0.7, 8, n_bits, _pager(), seed=9)
+        b = SimilarityFilterIndex(0.7, 8, n_bits, _pager(), seed=9)
+        a.insert_many(vectors, list(range(6)))
+        for sid in range(6):
+            b.insert(vectors[sid], sid)
+        for sid in range(6):
+            assert a.probe(vectors[sid]) == b.probe(vectors[sid])
+
+    def test_insert_many_validates_lengths(self):
+        sfi = SimilarityFilterIndex(0.7, 2, 64, _pager())
+        with pytest.raises(ValueError):
+            sfi.insert_many(_random_vectors(3, 64), [1, 2])
+
+    def test_insert_many_empty(self):
+        sfi = SimilarityFilterIndex(0.7, 2, 64, _pager())
+        sfi.insert_many(np.empty((0, 1), dtype=np.uint64), [])
+        assert sfi.n_entries == 0
+
+    def test_delete_removes(self):
+        n_bits = 256
+        sfi = SimilarityFilterIndex(0.8, 6, n_bits, _pager(), seed=11)
+        v = _random_vectors(1, n_bits, seed=12)[0]
+        sfi.insert(v, 42)
+        assert 42 in sfi.probe(v)
+        sfi.delete(v, 42)
+        assert 42 not in sfi.probe(v)
+        assert sfi.n_entries == 0
+
+    def test_probe_accounts_io(self):
+        pager = _pager()
+        n_bits = 128
+        sfi = SimilarityFilterIndex(0.8, 5, n_bits, pager, seed=13)
+        v = _random_vectors(1, n_bits, seed=14)[0]
+        sfi.insert(v, 0)
+        before = pager.io.snapshot()
+        sfi.probe(v)
+        delta = pager.io.snapshot() - before
+        # One bucket (>= its head page) per table.
+        assert delta.random_reads >= 5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityFilterIndex(0.0, 4, 64, _pager())
+        with pytest.raises(ValueError):
+            SimilarityFilterIndex(1.0, 4, 64, _pager())
+        with pytest.raises(ValueError):
+            SimilarityFilterIndex(0.5, 0, 64, _pager())
+
+    def test_collision_rate_matches_filter_function(self):
+        """Empirical hit rate ~ p_{r,l}(s) for vectors at similarity s."""
+        n_bits = 2048
+        threshold, l = 0.75, 8
+        sfi = SimilarityFilterIndex(threshold, l, n_bits, _pager(), seed=15)
+        base = _random_vectors(1, n_bits, seed=16)[0]
+        s = 0.9
+        flips = int(n_bits * (1 - s))
+        n_vectors = 300
+        for sid in range(n_vectors):
+            sfi.insert(_perturb(base, n_bits, flips, seed=100 + sid), sid)
+        hits = len(sfi.probe(base))
+        expected = sfi.filter(s)
+        assert abs(hits / n_vectors - expected) < 0.12
+
+
+class TestDissimilarityFilterIndex:
+    def test_dissimilar_found_similar_not(self):
+        n_bits = 1024
+        dfi = DissimilarityFilterIndex(0.6, 24, n_bits, _pager(), seed=21)
+        base = _random_vectors(1, n_bits, seed=22)[0]
+        near = _perturb(base, n_bits, flips=50, seed=23)    # ~0.95 similar
+        far = _perturb(base, n_bits, flips=900, seed=24)    # ~0.12 similar
+        dfi.insert(near, 1)
+        dfi.insert(far, 2)
+        hits = dfi.probe(base)
+        assert 2 in hits
+        assert 1 not in hits
+
+    def test_complement_always_found(self):
+        """The complement of the query is maximally dissimilar."""
+        n_bits = 256
+        dfi = DissimilarityFilterIndex(0.3, 6, n_bits, _pager(), seed=25)
+        q = _random_vectors(1, n_bits, seed=26)[0]
+        dfi.insert(complement(q, n_bits), 7)
+        assert 7 in dfi.probe(q)
+
+    def test_theorem2_equivalence(self):
+        """DFI(s*).probe(q) == SFI(1-s*).probe(~q) with matching seeds."""
+        n_bits = 512
+        pager_a, pager_b = _pager(), _pager()
+        dfi = DissimilarityFilterIndex(0.4, 8, n_bits, pager_a, seed=31)
+        sfi = SimilarityFilterIndex(0.6, 8, n_bits, pager_b, seed=31)
+        vectors = _random_vectors(20, n_bits, seed=32)
+        for sid in range(20):
+            dfi.insert(vectors[sid], sid)
+            sfi.insert(vectors[sid], sid)
+        q = _random_vectors(1, n_bits, seed=33)[0]
+        assert dfi.probe(q) == sfi.probe(complement(q, n_bits))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DissimilarityFilterIndex(0.0, 4, 64, _pager())
+
+    def test_insert_delete_roundtrip(self):
+        n_bits = 256
+        dfi = DissimilarityFilterIndex(0.5, 4, n_bits, _pager(), seed=41)
+        v = _random_vectors(1, n_bits, seed=42)[0]
+        dfi.insert(v, 5)
+        dfi.delete(v, 5)
+        assert 5 not in dfi.probe(complement(v, n_bits))
+        assert dfi.n_entries == 0
+
+    def test_properties_exposed(self):
+        dfi = DissimilarityFilterIndex(0.4, 8, 128, _pager())
+        assert dfi.n_tables == 8
+        assert dfi.r == dfi.filter.r
+        assert "0.4" in repr(dfi)

@@ -1,0 +1,139 @@
+"""Unit tests for the paged bucket hash table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.hashtable import BucketHashTable, hash_key
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+def _table(n_buckets=8, page_size=4096):
+    return BucketHashTable(PageManager(IOCostModel(), page_size=page_size), n_buckets)
+
+
+class TestHashKey:
+    def test_deterministic(self):
+        assert hash_key(b"abc") == hash_key(b"abc")
+
+    def test_distinct_keys_differ(self):
+        assert hash_key(b"abc") != hash_key(b"abd")
+
+    def test_64_bit(self):
+        assert 0 <= hash_key(b"x") < 2**64
+
+
+class TestBucketHashTable:
+    def test_insert_probe(self):
+        table = _table()
+        table.insert(b"k1", 10)
+        table.insert(b"k1", 11)
+        table.insert(b"k2", 20)
+        assert sorted(table.probe(b"k1")) == [10, 11]
+        assert table.probe(b"k2") == [20]
+        assert table.probe(b"nope") == []
+        assert table.n_entries == 3
+
+    def test_no_bucket_cross_talk(self):
+        """Keys sharing a bucket must not leak into each other's probes."""
+        table = _table(n_buckets=1)
+        for i in range(20):
+            table.insert(f"key-{i}".encode(), i)
+        for i in range(20):
+            assert table.probe(f"key-{i}".encode()) == [i]
+
+    def test_overflow_chains(self):
+        table = _table(n_buckets=1, page_size=64)  # 4 entries per page
+        for i in range(20):
+            table.insert(b"same", i)
+        assert table.n_pages == 5
+        assert sorted(table.probe(b"same")) == list(range(20))
+
+    def test_probe_io_chain_accounting(self):
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(8):  # two pages in the chain
+            table.insert(b"k", i)
+        io = table.pager.io
+        before = io.snapshot()
+        table.probe(b"k")
+        delta = io.snapshot() - before
+        assert delta.random_reads == 1  # head page
+        assert delta.sequential_reads == 1  # overflow page
+
+    def test_delete_existing(self):
+        table = _table()
+        table.insert(b"a", 1)
+        table.insert(b"a", 2)
+        assert table.delete(b"a", 1)
+        assert table.probe(b"a") == [2]
+        assert table.n_entries == 1
+
+    def test_delete_missing(self):
+        table = _table()
+        table.insert(b"a", 1)
+        assert not table.delete(b"a", 99)
+        assert not table.delete(b"zzz", 1)
+        assert table.n_entries == 1
+
+    def test_delete_last_entry_of_last_page(self):
+        """The swap-remove edge case: hole == popped entry."""
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(4):
+            table.insert(b"k", i)
+        assert table.delete(b"k", 3)  # last entry of the only page
+        assert sorted(table.probe(b"k")) == [0, 1, 2]
+
+    def test_delete_frees_empty_pages(self):
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(5):  # 2 pages
+            table.insert(b"k", i)
+        assert table.n_pages == 2
+        for i in range(5):
+            table.delete(b"k", i)
+        assert table.n_pages == 0
+        assert table.probe(b"k") == []
+
+    def test_duplicate_entries_supported(self):
+        table = _table()
+        table.insert(b"k", 7)
+        table.insert(b"k", 7)
+        assert table.probe(b"k") == [7, 7]
+        table.delete(b"k", 7)
+        assert table.probe(b"k") == [7]
+
+    def test_items_iterates_everything(self):
+        table = _table(n_buckets=4)
+        for i in range(10):
+            table.insert(str(i).encode(), i)
+        assert len(list(table.items())) == 10
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            BucketHashTable(PageManager(IOCostModel()), 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([b"a", b"b", b"c", b"d"]), st.integers(0, 5)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, operations):
+        """Insert/delete sequences behave like a multiset dictionary."""
+        table = _table(n_buckets=2, page_size=64)
+        model: dict[bytes, list[int]] = {}
+        rng = np.random.default_rng(0)
+        for key, sid in operations:
+            if rng.random() < 0.7:
+                table.insert(key, sid)
+                model.setdefault(key, []).append(sid)
+            else:
+                expected = sid in model.get(key, [])
+                assert table.delete(key, sid) == expected
+                if expected:
+                    model[key].remove(sid)
+        for key in (b"a", b"b", b"c", b"d"):
+            assert sorted(table.probe(key)) == sorted(model.get(key, []))
+        assert table.n_entries == sum(len(v) for v in model.values())

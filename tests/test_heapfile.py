@@ -1,0 +1,82 @@
+"""Unit tests for the heap file."""
+
+from repro.storage.heapfile import HeapFile
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+
+def _heap(record_pages=None):
+    pager = PageManager(IOCostModel())
+    return HeapFile(pager, record_pages=record_pages), pager
+
+
+class TestHeapFile:
+    def test_append_get_roundtrip(self):
+        heap, _ = _heap()
+        rid = heap.append({"payload": 1})
+        assert heap.get(rid) == {"payload": 1}
+
+    def test_record_count(self):
+        heap, _ = _heap()
+        for i in range(5):
+            heap.append(i)
+        assert heap.n_records == 5
+        assert heap.n_pages == 5
+
+    def test_scan_order(self):
+        heap, _ = _heap()
+        rids = [heap.append(f"r{i}") for i in range(4)]
+        scanned = list(heap.scan())
+        assert [r for r, _ in scanned] == rids
+        assert [v for _, v in scanned] == ["r0", "r1", "r2", "r3"]
+
+    def test_scan_is_sequential_io(self):
+        heap, pager = _heap()
+        for i in range(6):
+            heap.append(i)
+        before = pager.io.snapshot()
+        list(heap.scan())
+        delta = pager.io.snapshot() - before
+        assert delta.sequential_reads == 6
+        assert delta.random_reads == 0
+
+    def test_get_is_random_io(self):
+        heap, pager = _heap()
+        rid = heap.append("x")
+        before = pager.io.snapshot()
+        heap.get(rid)
+        delta = pager.io.snapshot() - before
+        assert delta.random_reads == 1
+
+    def test_multi_page_records(self):
+        heap, pager = _heap(record_pages=lambda r: r["pages"])
+        rid = heap.append({"pages": 3})
+        assert rid.n_pages == 3
+        assert heap.n_pages == 3
+        before = pager.io.snapshot()
+        heap.get(rid)
+        delta = pager.io.snapshot() - before
+        assert delta.random_reads == 1
+        assert delta.sequential_reads == 2
+
+    def test_multi_page_scan_charges_span(self):
+        heap, pager = _heap(record_pages=lambda r: 2)
+        heap.append("a")
+        heap.append("b")
+        before = pager.io.snapshot()
+        list(heap.scan())
+        delta = pager.io.snapshot() - before
+        assert delta.sequential_reads == 4
+
+    def test_record_pages_floor_one(self):
+        heap, _ = _heap(record_pages=lambda r: 0)
+        rid = heap.append("tiny")
+        assert rid.n_pages == 1
+
+    def test_interleaved_spans_keep_addresses(self):
+        heap, _ = _heap(record_pages=lambda r: len(r))
+        rids = [heap.append("ab"), heap.append("x"), heap.append("wxyz")]
+        assert heap.get(rids[0]) == "ab"
+        assert heap.get(rids[1]) == "x"
+        assert heap.get(rids[2]) == "wxyz"
+        assert heap.n_pages == 2 + 1 + 4

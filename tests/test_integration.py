@@ -1,0 +1,153 @@
+"""Cross-module integration tests: the whole pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential_scan import SequentialScan
+from repro.core.index import SetSimilarityIndex
+from repro.core.similarity import jaccard
+from repro.data.queries import QueryWorkload, ground_truth
+from repro.data.weblog import make_weblog_collection
+
+
+@pytest.fixture(scope="module")
+def weblog_index(weblog_sets):
+    return SetSimilarityIndex.build(
+        weblog_sets, budget=100, recall_target=0.85, k=64, b=6, seed=4
+    )
+
+
+class TestPipelineQuality:
+    def test_average_recall_near_target(self, weblog_index, weblog_sets):
+        """The headline guarantee: measured average recall over a random
+        workload tracks the construction target."""
+        workload = QueryWorkload(len(weblog_sets), seed=21)
+        recalls = []
+        for q in workload.sample(30):
+            truth = ground_truth(weblog_sets, q)
+            if not truth:
+                continue
+            result = weblog_index.query(
+                weblog_sets[q.set_index], q.sigma_low, q.sigma_high
+            )
+            recalls.append(len(result.answer_sids & truth) / len(truth))
+        assert np.mean(recalls) > 0.75  # target 0.85 minus sampling slack
+
+    def test_index_answers_subset_of_scan(self, weblog_index, weblog_sets):
+        """ia(q) is a subset of a(q): the index never invents answers."""
+        scan = SequentialScan(weblog_index.store)
+        for qi in (0, 10, 50):
+            q = weblog_sets[qi]
+            index_result = weblog_index.query(q, 0.4, 0.9)
+            scan_result = scan.query(q, 0.4, 0.9)
+            assert index_result.answer_sids <= scan_result.answer_sids
+            # And similarities agree exactly where both report.
+            scan_sims = dict(scan_result.answers)
+            for sid, sim in index_result.answers:
+                assert sim == pytest.approx(scan_sims[sid])
+
+    def test_index_beats_scan_on_narrow_queries(self):
+        """The Fig. 7 shape: at realistic collection-to-budget ratios,
+        high-similarity queries cost the index less than a full scan.
+
+        Probe cost is budget-sized while scan cost is collection-sized,
+        so this needs N comfortably above the table budget -- the
+        paper ran 200k sets against 500-1000 tables.
+        """
+        sets = make_weblog_collection(n_sets=1000, seed=31)
+        index = SetSimilarityIndex.build(
+            sets, budget=120, recall_target=0.85, k=48, b=6, seed=5,
+            sample_pairs=50_000,
+        )
+        scan = SequentialScan(index.store)
+        index_times, scan_times = [], []
+        for qi in (0, 200, 400):
+            q = sets[qi]
+            index_times.append(index.query(q, 0.6, 1.0).total_time)
+            scan_times.append(scan.query(q, 0.6, 1.0).total_time)
+        assert np.mean(index_times) < np.mean(scan_times)
+
+    def test_plan_expectation_is_calibrated(self, weblog_index, weblog_sets):
+        """Analytic expected recall should not wildly overstate reality."""
+        workload = QueryWorkload(len(weblog_sets), seed=22)
+        recalls = []
+        for q in workload.sample(25):
+            truth = ground_truth(weblog_sets, q)
+            if not truth:
+                continue
+            result = weblog_index.query(
+                weblog_sets[q.set_index], q.sigma_low, q.sigma_high
+            )
+            recalls.append(len(result.answer_sids & truth) / len(truth))
+        assert abs(np.mean(recalls) - weblog_index.plan.expected_recall) < 0.2
+
+
+class TestDynamicConsistency:
+    def test_insert_visible_to_all_query_plans(self, weblog_sets):
+        index = SetSimilarityIndex.build(
+            weblog_sets[:80], budget=60, recall_target=0.8, k=48, seed=6
+        )
+        novel = frozenset(range(10**6, 10**6 + 30))
+        sid = index.insert(novel)
+        # High-range query (SFI path).
+        assert sid in index.query_above(novel, 0.9).answer_sids
+        # Low-range query from a different set (DFI or fallback path):
+        # the novel set is disjoint from everything else.
+        other = weblog_sets[0]
+        low = index.query(other, 0.0, 1.0)
+        assert sid in low.answer_sids
+
+    def test_delete_shrinks_all_paths(self, weblog_sets):
+        index = SetSimilarityIndex.build(
+            weblog_sets[:80], budget=60, recall_target=0.8, k=48, seed=6
+        )
+        victim = 12
+        target_set = weblog_sets[victim]
+        index.delete(victim)
+        assert victim not in index.query(target_set, 0.0, 1.0).answer_sids
+        assert index.n_sets == 79
+
+    def test_rebuild_equivalence_after_updates(self, weblog_sets):
+        """An index that saw inserts answers like one built from scratch
+        (up to the probabilistic filter, which is seed-identical)."""
+        base = weblog_sets[:60]
+        extra = weblog_sets[60:70]
+        incremental = SetSimilarityIndex.build(
+            base, budget=40, recall_target=0.8, k=32, seed=9
+        )
+        for s in extra:
+            incremental.insert(s)
+        q = weblog_sets[61]
+        got = incremental.query(q, 0.5, 1.0)
+        for sid, sim in got.answers:
+            all_sets = base + extra
+            assert sim == pytest.approx(jaccard(all_sets[sid], q))
+
+
+class TestScaleInvariants:
+    def test_collection_of_identical_sets(self):
+        sets = [frozenset({1, 2, 3})] * 15
+        index = SetSimilarityIndex.build(sets, budget=20, k=16, seed=1)
+        result = index.query({1, 2, 3}, 0.95, 1.0)
+        assert result.answer_sids == set(range(15))
+
+    def test_collection_of_disjoint_sets(self):
+        sets = [frozenset({i * 10, i * 10 + 1}) for i in range(20)]
+        index = SetSimilarityIndex.build(sets, budget=20, k=16, seed=1)
+        result = index.query(sets[0], 0.95, 1.0)
+        assert result.answer_sids == {0}
+
+    def test_singleton_collection(self):
+        index = SetSimilarityIndex.build([{1, 2}], budget=10, k=8, seed=0)
+        assert index.query({1, 2}, 0.5, 1.0).answer_sids == {0}
+
+    def test_mixed_element_types(self):
+        sets = [
+            frozenset({"url/a", "url/b", "url/c"}),
+            frozenset({"url/b", "url/c", "url/d"}),
+            frozenset({b"raw", 42, ("tuple", 1)}),
+        ]
+        index = SetSimilarityIndex.build(sets, budget=10, k=16, seed=0)
+        result = index.query({"url/a", "url/b", "url/c"}, 0.4, 1.0)
+        assert 0 in result.answer_sids
+        assert 1 in result.answer_sids

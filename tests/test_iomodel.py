@@ -1,0 +1,85 @@
+"""Unit tests for the I/O cost model."""
+
+import pytest
+
+from repro.storage.iomodel import IOCostModel, IOStats
+
+
+class TestIOStats:
+    def test_addition(self):
+        a = IOStats(1, 2, 3, 4)
+        b = IOStats(10, 20, 30, 40)
+        assert a + b == IOStats(11, 22, 33, 44)
+
+    def test_subtraction(self):
+        a = IOStats(10, 20, 30, 40)
+        b = IOStats(1, 2, 3, 4)
+        assert a - b == IOStats(9, 18, 27, 36)
+
+    def test_default_zero(self):
+        assert IOStats() == IOStats(0, 0, 0, 0)
+
+
+class TestIOCostModel:
+    def test_counters_accumulate(self):
+        io = IOCostModel()
+        io.read_sequential(3)
+        io.read_random(2)
+        io.write(4)
+        io.cpu(100)
+        assert io.stats == IOStats(3, 2, 4, 100)
+
+    def test_default_ratio_is_eight(self):
+        """The paper's rtn = ran/seq ~= 8."""
+        io = IOCostModel()
+        assert io.random_cost / io.seq_cost == pytest.approx(8.0)
+
+    def test_io_time(self):
+        io = IOCostModel(seq_cost=1.0, random_cost=8.0)
+        io.read_sequential(10)
+        io.read_random(5)
+        assert io.io_time() == pytest.approx(10 + 40)
+
+    def test_cpu_time(self):
+        io = IOCostModel(cpu_cost=0.01)
+        io.cpu(500)
+        assert io.cpu_time() == pytest.approx(5.0)
+
+    def test_total_time(self):
+        io = IOCostModel(seq_cost=1, random_cost=8, cpu_cost=0.5)
+        io.read_random()
+        io.cpu(2)
+        assert io.total_time() == pytest.approx(9.0)
+
+    def test_time_of_explicit_stats(self):
+        io = IOCostModel()
+        stats = IOStats(sequential_reads=2, random_reads=1)
+        assert io.io_time(stats) == pytest.approx(10.0)
+
+    def test_snapshot_is_independent_copy(self):
+        io = IOCostModel()
+        io.read_random()
+        snap = io.snapshot()
+        io.read_random()
+        assert snap.random_reads == 1
+        assert io.stats.random_reads == 2
+
+    def test_delta_pattern(self):
+        io = IOCostModel()
+        io.read_sequential(5)
+        before = io.snapshot()
+        io.read_sequential(2)
+        io.read_random(1)
+        delta = io.snapshot() - before
+        assert delta == IOStats(2, 1, 0, 0)
+
+    def test_reset(self):
+        io = IOCostModel()
+        io.read_random(9)
+        io.reset()
+        assert io.stats == IOStats()
+
+    def test_writes_do_not_enter_query_time(self):
+        io = IOCostModel()
+        io.write(100)
+        assert io.total_time() == 0.0

@@ -1,0 +1,126 @@
+"""Tests for drift detection and index rebuilding."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import SimilarityDistribution
+from repro.core.index import SetSimilarityIndex
+from repro.core.maintenance import (
+    MaintenanceAdvisor,
+    distribution_drift,
+    rebuild,
+)
+from repro.data.generators import planted_clusters, uniform_random_sets
+
+
+class TestDistributionDrift:
+    def test_identical_is_zero(self):
+        dist = SimilarityDistribution(np.arange(1.0, 11.0), 10)
+        assert distribution_drift(dist, dist) == 0.0
+
+    def test_disjoint_is_one(self):
+        a = SimilarityDistribution(np.array([10.0, 0.0]), 5)
+        b = SimilarityDistribution(np.array([0.0, 10.0]), 5)
+        assert distribution_drift(a, b) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        a = SimilarityDistribution(np.array([1.0, 3.0]), 3)
+        b = SimilarityDistribution(np.array([10.0, 30.0]), 30)
+        assert distribution_drift(a, b) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = SimilarityDistribution(rng.random(20), 10)
+        b = SimilarityDistribution(rng.random(20), 10)
+        assert distribution_drift(a, b) == pytest.approx(distribution_drift(b, a))
+
+    def test_empty_cases(self):
+        empty = SimilarityDistribution(np.zeros(5), 1)
+        full = SimilarityDistribution(np.ones(5), 5)
+        assert distribution_drift(empty, empty) == 0.0
+        assert distribution_drift(empty, full) == 1.0
+
+    def test_resolution_mismatch(self):
+        a = SimilarityDistribution(np.ones(5), 5)
+        b = SimilarityDistribution(np.ones(10), 5)
+        with pytest.raises(ValueError):
+            distribution_drift(a, b)
+
+
+class TestAdvisor:
+    @pytest.fixture
+    def fresh_index(self):
+        sets = planted_clusters(6, 6, base_size=25, universe=2000, seed=31)
+        return SetSimilarityIndex.build(
+            sets, budget=30, recall_target=0.8, k=24, seed=5
+        )
+
+    def test_no_churn_no_rebuild(self, fresh_index):
+        advisor = MaintenanceAdvisor(fresh_index)
+        report = advisor.check()
+        assert report.churn_fraction == 0.0
+        assert not report.should_rebuild
+
+    def test_churn_counts_inserts_and_deletes(self, fresh_index):
+        advisor = MaintenanceAdvisor(fresh_index)
+        fresh_index.insert({1, 2, 3})
+        fresh_index.delete(0)
+        assert advisor.churn_fraction == pytest.approx(2 / 36)
+
+    def test_high_churn_low_drift_no_rebuild(self, fresh_index):
+        """Inserting more of the same does not warrant a rebuild."""
+        advisor = MaintenanceAdvisor(fresh_index, churn_threshold=0.1)
+        more = planted_clusters(2, 6, base_size=25, universe=2000, seed=32)
+        for s in more:
+            fresh_index.insert(s)
+        report = advisor.check(seed=1)
+        assert report.churn_fraction > 0.1
+        assert not report.should_rebuild
+        assert "stable" in report.reason
+
+    def test_drifted_workload_triggers_rebuild(self, fresh_index):
+        """Flooding a clustered collection with uniform-random sets
+        reshapes D_S and should trip the advisor."""
+        advisor = MaintenanceAdvisor(
+            fresh_index, churn_threshold=0.2, drift_threshold=0.05
+        )
+        flood = uniform_random_sets(60, universe=50_000, set_size=25, seed=33)
+        for s in flood:
+            fresh_index.insert(s)
+        report = advisor.check(seed=2)
+        assert report.should_rebuild
+        assert report.drift >= 0.05
+
+    def test_invalid_thresholds(self, fresh_index):
+        with pytest.raises(ValueError):
+            MaintenanceAdvisor(fresh_index, churn_threshold=0.0)
+
+
+class TestRebuild:
+    def test_rebuild_reflects_current_contents(self):
+        sets = planted_clusters(4, 6, base_size=25, universe=2000, seed=41)
+        index = SetSimilarityIndex.build(sets, budget=30, recall_target=0.8, k=24, seed=6)
+        added = frozenset(range(5000, 5030))
+        index.insert(added)
+        index.delete(0)
+        fresh = rebuild(index, seed=7)
+        assert fresh.n_sets == index.n_sets
+        # The deleted set is gone; sids are renumbered densely.
+        found = fresh.query_above(added, 0.95)
+        assert len(found.answers) == 1
+
+    def test_rebuild_defaults_to_old_budget(self):
+        sets = planted_clusters(4, 6, base_size=25, universe=2000, seed=42)
+        index = SetSimilarityIndex.build(sets, budget=30, recall_target=0.8, k=24, seed=6)
+        fresh = rebuild(index, seed=8)
+        assert fresh.plan.tables_used <= max(1, index.plan.tables_used)
+
+    def test_rebuild_retunes_for_drifted_data(self):
+        """After a drift, the rebuilt plan differs from the stale one."""
+        sets = planted_clusters(4, 6, base_size=25, universe=2000, seed=43)
+        index = SetSimilarityIndex.build(sets, budget=40, recall_target=0.8, k=24, seed=9)
+        flood = uniform_random_sets(80, universe=50_000, set_size=25, seed=44)
+        for s in flood:
+            index.insert(s)
+        fresh = rebuild(index, budget=40, recall_target=0.8, seed=9)
+        assert fresh.plan.cut_points != index.plan.cut_points

@@ -1,0 +1,54 @@
+"""Unit tests for result-quality metrics."""
+
+import pytest
+
+from repro.core.metrics import QueryQuality, average, evaluate_query
+
+
+class TestEvaluateQuery:
+    def test_perfect(self):
+        q = evaluate_query({1, 2}, {1, 2}, {1, 2})
+        assert q.recall == 1.0
+        assert q.precision == 1.0
+
+    def test_missing_answers(self):
+        q = evaluate_query({1}, {1}, {1, 2})
+        assert q.recall == 0.5
+
+    def test_precision_against_candidates(self):
+        """Precision measures candidate efficiency, not answer purity."""
+        q = evaluate_query({1}, {1, 2, 3, 4}, {1})
+        assert q.precision == 0.25
+        assert q.recall == 1.0
+
+    def test_empty_truth(self):
+        q = evaluate_query(set(), {5, 6}, set())
+        assert q.recall == 1.0
+        assert q.precision == 0.0
+
+    def test_empty_candidates(self):
+        q = evaluate_query(set(), set(), set())
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+
+    def test_counts(self):
+        q = evaluate_query({1, 2}, {1, 2, 3}, {2, 4})
+        assert q == QueryQuality(
+            recall=0.5, precision=1 / 3, n_answers=2, n_candidates=3, n_truth=2
+        )
+
+    def test_accepts_iterables(self):
+        q = evaluate_query([1, 1, 2], (1, 2, 3), iter({1}))
+        assert q.n_answers == 2
+        assert q.n_candidates == 3
+
+
+class TestAverage:
+    def test_mean(self):
+        assert average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert average([]) == 0.0
+
+    def test_generator(self):
+        assert average(x / 2 for x in (1, 3)) == pytest.approx(1.0)

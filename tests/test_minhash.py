@@ -1,0 +1,135 @@
+"""Unit tests for min-wise hashing (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minhash import MERSENNE_PRIME, MinHasher, stable_element_hash
+from repro.core.similarity import jaccard
+
+
+class TestStableElementHash:
+    def test_deterministic(self):
+        assert stable_element_hash("abc") == stable_element_hash("abc")
+
+    def test_types_do_not_collide_trivially(self):
+        values = {stable_element_hash(v) for v in (1, "1", b"1", 1.5, (1,))}
+        assert len(values) == 5
+
+    def test_negative_int(self):
+        assert stable_element_hash(-5) != stable_element_hash(5)
+
+    def test_large_int(self):
+        assert isinstance(stable_element_hash(2**100), int)
+
+    def test_numpy_int_matches_python_int(self):
+        assert stable_element_hash(np.int64(42)) == stable_element_hash(42)
+
+
+class TestMinHasher:
+    def test_signature_shape_and_dtype(self):
+        hasher = MinHasher(k=16, seed=0)
+        sig = hasher.signature({1, 2, 3})
+        assert sig.shape == (16,)
+        assert sig.dtype == np.uint64
+
+    def test_values_below_prime(self):
+        hasher = MinHasher(k=32, seed=1)
+        sig = hasher.signature(range(100))
+        assert int(sig.max()) < MERSENNE_PRIME
+
+    def test_deterministic_across_instances(self):
+        a = MinHasher(k=8, seed=5).signature({"x", "y", "z"})
+        b = MinHasher(k=8, seed=5).signature({"x", "y", "z"})
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = MinHasher(k=8, seed=5).signature({"x", "y", "z"})
+        b = MinHasher(k=8, seed=6).signature({"x", "y", "z"})
+        assert not np.array_equal(a, b)
+
+    def test_order_independent(self):
+        hasher = MinHasher(k=8, seed=0)
+        assert np.array_equal(hasher.signature([3, 1, 2]), hasher.signature([1, 2, 3]))
+
+    def test_empty_set_raises(self):
+        with pytest.raises(ValueError):
+            MinHasher(k=4).signature([])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MinHasher(k=0)
+
+    def test_identical_sets_agree_fully(self):
+        hasher = MinHasher(k=64, seed=2)
+        s = frozenset(range(50))
+        assert hasher.estimate_similarity(hasher.signature(s), hasher.signature(s)) == 1.0
+
+    def test_signature_matrix_matches_rows(self):
+        hasher = MinHasher(k=12, seed=3)
+        sets = [frozenset({1, 2}), frozenset({2, 3, 4}), frozenset({9})]
+        matrix = hasher.signature_matrix(sets)
+        assert matrix.shape == (3, 12)
+        for i, s in enumerate(sets):
+            assert np.array_equal(matrix[i], hasher.signature(s))
+
+    def test_signature_matrix_empty(self):
+        assert MinHasher(k=4).signature_matrix([]).shape == (0, 4)
+
+    def test_estimate_shape_mismatch(self):
+        hasher = MinHasher(k=4)
+        with pytest.raises(ValueError):
+            hasher.estimate_similarity(np.zeros(4, np.uint64), np.zeros(5, np.uint64))
+
+    def test_min_of_subset_is_geq(self):
+        """min over a subset can only be >= min over the superset."""
+        hasher = MinHasher(k=32, seed=4)
+        small = frozenset(range(10))
+        big = frozenset(range(30))
+        assert np.all(hasher.signature(small) >= hasher.signature(big))
+
+    def test_singleton_signature_is_element_hash(self):
+        """For a singleton the min is just that element's hash value."""
+        hasher = MinHasher(k=8, seed=0)
+        sig1 = hasher.signature({42})
+        sig2 = hasher.signature({42})
+        assert np.array_equal(sig1, sig2)
+        assert np.all(sig1 < MERSENNE_PRIME)
+
+
+class TestUnbiasedEstimation:
+    """Pr[min pi(A) == min pi(B)] = sim(A, B) -- statistical check."""
+
+    @pytest.mark.parametrize("overlap_size", [0, 10, 25, 40, 50])
+    def test_estimator_tracks_jaccard(self, overlap_size):
+        a = frozenset(range(50))
+        b = frozenset(range(50 - overlap_size, 100 - overlap_size))
+        true = jaccard(a, b)
+        hasher = MinHasher(k=2000, seed=7)
+        estimate = hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
+        # k=2000 -> standard error <= ~0.011; allow 4 sigma.
+        assert abs(estimate - true) < 0.05
+
+    def test_estimator_unbiased_over_seeds(self):
+        a = frozenset(range(30))
+        b = frozenset(range(15, 45))
+        true = jaccard(a, b)
+        estimates = []
+        for seed in range(30):
+            hasher = MinHasher(k=100, seed=seed)
+            estimates.append(
+                hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
+            )
+        assert abs(np.mean(estimates) - true) < 0.02
+
+    @given(
+        st.frozensets(st.integers(0, 60), min_size=1, max_size=30),
+        st.frozensets(st.integers(0, 60), min_size=1, max_size=30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_estimate_within_statistical_bounds(self, a, b):
+        hasher = MinHasher(k=800, seed=11)
+        estimate = hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
+        # 800 samples -> se <= 0.018; 5 sigma tolerance keeps flake ~0.
+        assert abs(estimate - jaccard(a, b)) < 0.09

@@ -1,0 +1,167 @@
+"""Tests for the set-mining layer (join, top-k, clustering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.core.similarity import jaccard
+from repro.data.generators import planted_clusters
+from repro.mining.clustering import classify_nearest, leader_clustering
+from repro.mining.join import (
+    JoinPair,
+    exact_self_join,
+    join_recall,
+    similarity_self_join,
+)
+from repro.mining.topk import top_k_similar
+
+
+@pytest.fixture(scope="module")
+def mining_sets():
+    return planted_clusters(
+        n_clusters=8, per_cluster=8, base_size=30, universe=2000, mutation_rate=0.12, seed=9
+    )
+
+
+@pytest.fixture(scope="module")
+def mining_index(mining_sets):
+    return SetSimilarityIndex.build(
+        mining_sets, budget=60, recall_target=0.8, k=48, b=6, seed=11
+    )
+
+
+class TestExactJoin:
+    def test_small_known_case(self):
+        sets = [frozenset({1, 2, 3}), frozenset({2, 3, 4}), frozenset({9, 10})]
+        pairs = exact_self_join(sets, 0.4)
+        assert pairs == [JoinPair(0, 1, 0.5)]
+
+    def test_threshold_zero_excludes_disjoint(self):
+        """The inverted-index join only sees overlapping pairs; at
+        threshold 0 that is still every pair with any overlap."""
+        sets = [frozenset({1}), frozenset({1, 2}), frozenset({5})]
+        pairs = exact_self_join(sets, 0.1)
+        assert {(p.low, p.high) for p in pairs} == {(0, 1)}
+
+    def test_sorted_by_similarity(self, mining_sets):
+        pairs = exact_self_join(mining_sets, 0.3)
+        sims = [p.similarity for p in pairs]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            exact_self_join([], 1.5)
+
+
+class TestIndexedJoin:
+    def test_recall_against_exact(self, mining_index, mining_sets):
+        approx = similarity_self_join(mining_index, mining_sets, 0.4)
+        exact = exact_self_join(mining_sets, 0.4)
+        assert exact, "planted clusters must produce joinable pairs"
+        assert join_recall(approx, exact) > 0.8
+
+    def test_no_false_pairs(self, mining_index, mining_sets):
+        approx = similarity_self_join(mining_index, mining_sets, 0.4)
+        for pair in approx:
+            true = jaccard(mining_sets[pair.low], mining_sets[pair.high])
+            assert true >= 0.4
+            assert pair.similarity == pytest.approx(true)
+
+    def test_pairs_are_canonical(self, mining_index, mining_sets):
+        approx = similarity_self_join(mining_index, mining_sets, 0.5)
+        assert all(p.low < p.high for p in approx)
+        assert len({(p.low, p.high) for p in approx}) == len(approx)
+
+    def test_join_recall_empty_truth(self):
+        assert join_recall([], []) == 1.0
+
+    def test_invalid_threshold(self, mining_index, mining_sets):
+        with pytest.raises(ValueError):
+            similarity_self_join(mining_index, mining_sets, -0.1)
+
+
+class TestTopK:
+    def test_self_ranked_first(self, mining_index, mining_sets):
+        top = top_k_similar(mining_index, mining_sets[0], k=5)
+        assert top[0][0] == 0
+        assert top[0][1] == 1.0
+
+    def test_k_results_descending(self, mining_index, mining_sets):
+        top = top_k_similar(mining_index, mining_sets[0], k=6)
+        assert len(top) == 6
+        sims = [s for _, s in top]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_exclude_self(self, mining_index, mining_sets):
+        top = top_k_similar(mining_index, mining_sets[0], k=5, include_self=False)
+        assert all(mining_index.store.get(sid) != mining_sets[0] for sid, _ in top)
+
+    def test_floor_limits_results(self, mining_index, mining_sets):
+        top = top_k_similar(mining_index, mining_sets[0], k=50, floor=0.5)
+        assert all(sim >= 0.5 for _, sim in top)
+        # The query's own cluster has 8 members; far fewer than 50
+        # sets clear a 0.5 floor.
+        assert len(top) < 50
+
+    def test_neighbours_are_cluster_mates(self, mining_index, mining_sets):
+        """Top-5 (excluding self) should mostly be the query's own
+        planted cluster (sids 0..7 for query 0)."""
+        top = top_k_similar(mining_index, mining_sets[0], k=5, include_self=False)
+        in_cluster = sum(1 for sid, _ in top if sid < 8)
+        assert in_cluster >= 4
+
+    def test_invalid_arguments(self, mining_index, mining_sets):
+        with pytest.raises(ValueError):
+            top_k_similar(mining_index, mining_sets[0], k=0)
+        with pytest.raises(ValueError):
+            top_k_similar(mining_index, mining_sets[0], k=3, floor=2.0)
+
+
+class TestLeaderClustering:
+    def test_recovers_planted_clusters(self, mining_index, mining_sets):
+        clusters = leader_clustering(mining_index, mining_sets, threshold=0.35)
+        big = [c for c in clusters if len(c) >= 5]
+        assert len(big) == 8  # one per planted cluster
+        for cluster in big:
+            # Members of one output cluster come from one planted cluster.
+            origins = {sid // 8 for sid in cluster}
+            assert len(origins) == 1
+
+    def test_partition_property(self, mining_index, mining_sets):
+        clusters = leader_clustering(mining_index, mining_sets, threshold=0.35)
+        flat = [sid for c in clusters for sid in c]
+        assert sorted(flat) == list(range(len(mining_sets)))
+
+    def test_threshold_one_gives_singletons_or_duplicates(self, mining_index, mining_sets):
+        clusters = leader_clustering(mining_index, mining_sets, threshold=1.0)
+        for cluster in clusters:
+            if len(cluster) > 1:
+                # Only exact duplicates may co-cluster at threshold 1.
+                first = mining_sets[cluster[0]]
+                assert all(mining_sets[sid] == first for sid in cluster)
+
+    def test_invalid_threshold(self, mining_index, mining_sets):
+        with pytest.raises(ValueError):
+            leader_clustering(mining_index, mining_sets, threshold=-1)
+
+
+class TestClassifyNearest:
+    def test_classifies_by_cluster(self, mining_index, mining_sets):
+        labels = [sid // 8 for sid in range(len(mining_sets))]
+        # Perturb a member of cluster 3 and classify it.
+        probe = set(mining_sets[3 * 8])
+        probe.add(10**7)
+        assert classify_nearest(mining_index, labels, probe, k=5) == 3
+
+    def test_unclassifiable_returns_none(self, mining_index, mining_sets):
+        labels = [0] * len(mining_sets)
+        foreign = frozenset(range(10**6, 10**6 + 20))
+        assert classify_nearest(mining_index, labels, foreign, k=3, floor=0.5) is None
+
+    def test_majority_vote(self, mining_sets):
+        index = SetSimilarityIndex.build(
+            mining_sets[:16], budget=30, recall_target=0.8, k=32, seed=13
+        )
+        labels = ["a"] * 8 + ["b"] * 8
+        result = classify_nearest(index, labels, mining_sets[1], k=5)
+        assert result == "a"

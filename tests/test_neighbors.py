@@ -1,0 +1,79 @@
+"""Tests for nearest/furthest neighbour retrieval."""
+
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.core.similarity import jaccard
+from repro.mining.neighbors import furthest_neighbor, nearest_neighbor
+
+
+@pytest.fixture(scope="module")
+def nn_index(clustered_sets):
+    index = SetSimilarityIndex.build(
+        clustered_sets, budget=60, recall_target=0.8, k=48, b=6, seed=15
+    )
+    return clustered_sets, index
+
+
+class TestNearestNeighbor:
+    def test_self_is_nearest(self, nn_index):
+        sets, index = nn_index
+        result = nearest_neighbor(index, sets[0])
+        assert result is not None
+        sid, similarity = result
+        assert similarity == 1.0
+
+    def test_excluding_self_finds_cluster_mate(self, nn_index):
+        sets, index = nn_index
+        result = nearest_neighbor(index, sets[0], include_self=False)
+        assert result is not None
+        sid, similarity = result
+        assert jaccard(sets[sid], sets[0]) == pytest.approx(similarity)
+        assert similarity > 0.3  # cluster mates are ~0.55 similar
+
+    def test_floor_blocks_weak_matches(self, nn_index):
+        _, index = nn_index
+        foreign = frozenset(range(10**6, 10**6 + 25))
+        assert nearest_neighbor(index, foreign, floor=0.5) is None
+
+    def test_nearest_is_truly_near_optimal(self, nn_index):
+        """The returned neighbour's similarity is close to the true
+        maximum (the index may miss, but not by much on clusters)."""
+        sets, index = nn_index
+        query = sets[7]
+        result = nearest_neighbor(index, query, include_self=False)
+        assert result is not None
+        best_true = max(
+            jaccard(s, query) for i, s in enumerate(sets) if s != query
+        )
+        assert result[1] >= best_true - 0.25
+
+
+class TestFurthestNeighbor:
+    def test_returns_dissimilar_set(self, nn_index):
+        sets, index = nn_index
+        result = furthest_neighbor(index, sets[0])
+        assert result is not None
+        sid, similarity = result
+        assert similarity == pytest.approx(jaccard(sets[sid], sets[0]))
+        # Planted clusters are mutually near-disjoint: the furthest
+        # neighbour must be essentially dissimilar.
+        assert similarity < 0.2
+
+    def test_empty_index(self):
+        index = SetSimilarityIndex.build([], budget=10, k=8)
+        assert furthest_neighbor(index, {1, 2}) is None
+
+    def test_all_identical_collection(self):
+        sets = [frozenset({1, 2, 3})] * 5
+        index = SetSimilarityIndex.build(sets, budget=10, k=16, seed=1)
+        result = furthest_neighbor(index, {1, 2, 3})
+        assert result is not None
+        assert result[1] == 1.0  # nothing dissimilar exists
+
+    def test_fallback_terminates(self, nn_index):
+        """Even a query similar to everything gets an answer via the
+        final [0, 1] fallback."""
+        sets, index = nn_index
+        union_like = frozenset().union(*sets[:20])
+        assert furthest_neighbor(index, union_like) is not None

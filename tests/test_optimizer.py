@@ -1,0 +1,310 @@
+"""Unit tests for the index optimizer (Section 5, Figs. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import SimilarityDistribution
+from repro.core.optimizer import (
+    DFI,
+    SFI,
+    CaptureModel,
+    PlannedFilter,
+    average_precision,
+    average_recall,
+    default_range_workload,
+    evaluate_plan,
+    evaluate_ranges,
+    greedy_allocate,
+    place_filters,
+    plan_index,
+    uniform_allocate,
+    worst_precision,
+    worst_recall,
+)
+
+
+def _spread_dist(seed=0, n_bins=50):
+    """A distribution with mass across the whole similarity range."""
+    rng = np.random.default_rng(seed)
+    mass = rng.random(n_bins) * 100 + 10
+    return SimilarityDistribution(mass, 200)
+
+
+def _bimodal_dist():
+    mass = np.zeros(50)
+    mass[:5] = 1000.0   # dissimilar bulk
+    mass[30:35] = 200.0  # similar tail
+    return SimilarityDistribution(mass, 100)
+
+
+class TestPlaceFilters:
+    def test_kinds_by_delta(self):
+        filters = place_filters([0.1, 0.3, 0.7, 0.9], delta=0.5)
+        kinds = {(f.point, f.kind) for f in filters}
+        assert (0.1, DFI) in kinds
+        assert (0.9, SFI) in kinds
+
+    def test_pivot_gets_both(self):
+        filters = place_filters([0.1, 0.45, 0.9], delta=0.5)
+        at_pivot = [f.kind for f in filters if f.point == 0.45]
+        assert sorted(at_pivot) == [DFI, SFI]
+
+    def test_empty(self):
+        assert place_filters([], 0.5) == []
+
+    def test_single_point_gets_both(self):
+        filters = place_filters([0.4], delta=0.5)
+        assert sorted(f.kind for f in filters) == [DFI, SFI]
+
+    def test_all_above_delta(self):
+        filters = place_filters([0.6, 0.8], delta=0.1)
+        # Closest to delta is 0.6 -> both kinds; 0.8 -> SFI.
+        assert sorted(f.kind for f in filters if f.point == 0.6) == [DFI, SFI]
+        assert [f.kind for f in filters if f.point == 0.8] == [SFI]
+
+
+class TestPlannedFilter:
+    def test_collision_probability_zero_without_tables(self):
+        f = PlannedFilter(0.5, SFI, n_tables=0)
+        grid = np.linspace(0, 1, 11)
+        assert not f.collision_probability(grid).any()
+
+    def test_sfi_collision_increasing(self):
+        f = PlannedFilter(0.5, SFI, n_tables=10)
+        grid = np.linspace(0, 1, 21)
+        p = f.collision_probability(grid, b=6)
+        assert np.all(np.diff(p) >= -1e-12)
+
+    def test_dfi_collision_decreasing(self):
+        f = PlannedFilter(0.5, DFI, n_tables=10)
+        grid = np.linspace(0, 1, 21)
+        p = f.collision_probability(grid, b=6)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_expected_error_no_tables_is_retrieve_mass(self):
+        dist = _spread_dist()
+        f = PlannedFilter(0.5, SFI, n_tables=0)
+        above = dist.centers >= 0.5
+        assert f.expected_error(dist) == pytest.approx(float(dist.mass[above].sum()))
+
+    def test_error_band_excludes_neighbourhood(self):
+        dist = _spread_dist()
+        f = PlannedFilter(0.5, SFI, n_tables=5)
+        assert f.expected_error(dist, band=0.2) <= f.expected_error(dist, band=0.0)
+
+    def test_hamming_threshold(self):
+        f = PlannedFilter(0.4, SFI)
+        assert f.hamming_threshold() == pytest.approx(0.7)
+
+
+class TestAllocators:
+    def test_greedy_respects_budget(self):
+        dist = _spread_dist()
+        filters = place_filters([0.2, 0.5, 0.8], delta=0.45)
+        used = greedy_allocate(filters, 50, dist, b=6)
+        assert used == sum(f.n_tables for f in filters)
+        assert used <= 50
+        assert all(f.n_tables >= 1 for f in filters)
+
+    def test_greedy_insufficient_budget(self):
+        dist = _spread_dist()
+        filters = place_filters([0.2, 0.5, 0.8], delta=0.45)
+        assert greedy_allocate(filters, len(filters) - 1, dist, b=6) == 0
+        assert all(f.n_tables == 0 for f in filters)
+
+    def test_greedy_empty(self):
+        assert greedy_allocate([], 10, _spread_dist()) == 0
+
+    def test_greedy_uses_most_of_generous_budget(self):
+        dist = _spread_dist()
+        filters = place_filters([0.3, 0.7], delta=0.5)
+        used = greedy_allocate(filters, 100, dist, b=6)
+        assert used >= 50  # steepness keeps paying on spread mass
+
+    def test_greedy_reduces_error_vs_single_table(self):
+        dist = _spread_dist()
+        filters = place_filters([0.3, 0.7], delta=0.5)
+        greedy_allocate(filters, 80, dist, b=6)
+        allocated_error = sum(f.expected_error(dist, 6, band=0.05) for f in filters)
+        for f in filters:
+            f.n_tables = 1
+        single_error = sum(f.expected_error(dist, 6, band=0.05) for f in filters)
+        assert allocated_error < single_error
+
+    def test_uniform_allocate_splits_evenly(self):
+        filters = [PlannedFilter(0.2, DFI), PlannedFilter(0.5, SFI), PlannedFilter(0.8, SFI)]
+        used = uniform_allocate(filters, 10)
+        assert used == 10
+        assert sorted(f.n_tables for f in filters) == [3, 3, 4]
+
+    def test_uniform_allocate_empty(self):
+        assert uniform_allocate([], 10) == 0
+
+
+class TestCaptureModel:
+    def test_no_filters_full_scan(self):
+        model = CaptureModel([], [], b=6)
+        grid = np.linspace(0, 1, 5)
+        assert np.all(model.capture(0.2, 0.8, grid) == 1.0)
+
+    def test_enclosing_points(self):
+        model = CaptureModel([0.2, 0.5, 0.8], [], b=6)
+        assert model.enclosing(0.3, 0.6) == (0.2, 0.8)
+        assert model.enclosing(0.5, 0.5) == (0.5, 0.5)
+        assert model.enclosing(0.05, 0.9) == (None, None)
+        assert model.enclosing(0.25, 0.95) == (0.2, None)
+
+    def test_sfi_difference_plan(self):
+        filters = [
+            PlannedFilter(0.4, SFI, n_tables=20),
+            PlannedFilter(0.8, SFI, n_tables=20),
+        ]
+        model = CaptureModel([0.4, 0.8], filters, b=6)
+        grid = np.array([0.6])
+        p = model.capture(0.5, 0.7, grid)
+        p_lo = filters[0].collision_probability(grid, 6)
+        p_up = filters[1].collision_probability(grid, 6)
+        assert p == pytest.approx(p_lo * (1 - p_up))
+
+    def test_dfi_difference_plan(self):
+        filters = [
+            PlannedFilter(0.1, DFI, n_tables=20),
+            PlannedFilter(0.3, DFI, n_tables=20),
+        ]
+        model = CaptureModel([0.1, 0.3], filters, b=6)
+        grid = np.array([0.2])
+        p = model.capture(0.15, 0.25, grid)
+        p_lo = filters[0].collision_probability(grid, 6)
+        p_up = filters[1].collision_probability(grid, 6)
+        assert p == pytest.approx(p_up * (1 - p_lo))
+
+    def test_mixed_plan_uses_pivot(self):
+        filters = [
+            PlannedFilter(0.2, DFI, n_tables=10),
+            PlannedFilter(0.5, DFI, n_tables=10),
+            PlannedFilter(0.5, SFI, n_tables=10),
+            PlannedFilter(0.8, SFI, n_tables=10),
+        ]
+        model = CaptureModel([0.2, 0.5, 0.8], filters, b=6)
+        grid = np.linspace(0, 1, 11)
+        p = model.capture(0.25, 0.75, grid)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_half_open_low_range(self):
+        filters = [PlannedFilter(0.3, DFI, n_tables=10)]
+        model = CaptureModel([0.3], filters, b=6)
+        grid = np.array([0.0, 0.5])
+        p = model.capture(0.0, 0.3, grid)
+        assert p[0] > p[1]  # dissimilar more likely captured
+
+    def test_half_open_high_range(self):
+        filters = [PlannedFilter(0.3, SFI, n_tables=10)]
+        model = CaptureModel([0.3], filters, b=6)
+        grid = np.array([0.1, 0.9])
+        p = model.capture(0.3, 1.0, grid)
+        assert p[1] > p[0]
+
+    def test_fallback_plans_complement(self):
+        """SFI-only low range: capture = 1 - p_sfi (all minus SimVector)."""
+        filters = [PlannedFilter(0.3, SFI, n_tables=10)]
+        model = CaptureModel([0.3], filters, b=6)
+        grid = np.array([0.1, 0.9])
+        p = model.capture(0.0, 0.3, grid)
+        p_sfi = filters[0].collision_probability(grid, 6)
+        assert np.allclose(p, 1 - p_sfi)
+
+
+class TestEvaluate:
+    def test_full_scan_plan_perfect_recall(self):
+        dist = _spread_dist()
+        stats = evaluate_ranges([], [], dist, b=6)
+        assert average_recall(stats) == pytest.approx(1.0)
+
+    def test_ranges_skip_empty_answers(self):
+        mass = np.zeros(10)
+        mass[9] = 5.0  # only very similar pairs exist
+        dist = SimilarityDistribution(mass, 10)
+        stats = evaluate_ranges([], [], dist, b=6, ranges=[(0.0, 0.1), (0.9, 1.0)])
+        assert len(stats) == 1
+
+    def test_evaluate_plan_intervals(self):
+        dist = _spread_dist()
+        filters = place_filters([0.5], 0.5)
+        greedy_allocate(filters, 20, dist, b=6)
+        stats = evaluate_plan([0.5], filters, dist, b=6)
+        assert len(stats) == 2
+        assert stats[0].sigma_low == 0.0 and stats[1].sigma_high == 1.0
+
+    def test_worst_metrics_respect_floor(self):
+        dist = _spread_dist()
+        stats = evaluate_ranges([], [], dist, b=6)
+        assert worst_recall(stats) <= average_recall(stats) + 1e-12
+        assert worst_recall(stats, min_answer=dist.total_mass + 1) == 1.0
+        assert worst_precision(stats, min_answer=dist.total_mass + 1) == 1.0
+
+    def test_default_range_workload_grid(self):
+        ranges = default_range_workload(step=0.25)
+        assert (0.0, 1.0) in ranges
+        assert all(a < b for a, b in ranges)
+        assert len(ranges) == 10  # C(5, 2)
+
+
+class TestPlanIndex:
+    def test_meets_target_on_spread_distribution(self):
+        dist = _spread_dist()
+        plan = plan_index(dist, budget=100, recall_target=0.8, b=6)
+        assert plan.met_target
+        assert plan.expected_recall >= 0.8
+        assert plan.tables_used <= 100
+        assert len(plan.filters) >= 1
+
+    def test_impossible_target_returns_fallback(self):
+        dist = _bimodal_dist()
+        plan = plan_index(dist, budget=20, recall_target=0.999, b=6)
+        assert not plan.met_target
+        assert plan.cut_points  # still a usable plan
+
+    def test_zero_budget_degenerate(self):
+        dist = _spread_dist()
+        plan = plan_index(dist, budget=0, recall_target=0.9, b=6)
+        assert plan.filters == []
+        assert plan.n_intervals == 1
+
+    def test_more_budget_no_worse_precision(self):
+        dist = _spread_dist()
+        small = plan_index(dist, budget=20, recall_target=0.8, b=6)
+        large = plan_index(dist, budget=200, recall_target=0.8, b=6)
+        assert large.expected_precision >= small.expected_precision - 0.05
+
+    def test_uniform_placement_option(self):
+        dist = _spread_dist()
+        plan = plan_index(dist, budget=50, recall_target=0.5, b=6, placement="uniform")
+        if plan.cut_points:
+            gaps = np.diff([0.0, *plan.cut_points, 1.0])
+            assert np.allclose(gaps, gaps[0], atol=1e-6)
+
+    def test_invalid_arguments(self):
+        dist = _spread_dist()
+        with pytest.raises(ValueError):
+            plan_index(dist, budget=-1)
+        with pytest.raises(ValueError):
+            plan_index(dist, budget=10, recall_target=0.0)
+        with pytest.raises(ValueError):
+            plan_index(dist, budget=10, placement="magic")
+
+    def test_plan_properties(self):
+        dist = _spread_dist()
+        plan = plan_index(dist, budget=60, recall_target=0.8, b=6)
+        assert plan.n_intervals == len(plan.cut_points) + 1
+        for point in plan.cut_points:
+            assert plan.kind_at(point) <= {SFI, DFI}
+        assert plan.tables_used == sum(f.n_tables for f in plan.filters)
+
+    def test_equidepth_cuts_balance_mass(self):
+        dist = _spread_dist()
+        plan = plan_index(dist, budget=60, recall_target=0.8, b=6)
+        bounds = [0.0, *plan.cut_points, 1.0]
+        masses = [
+            dist.mass_between(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)
+        ]
+        assert max(masses) / max(1e-9, min(masses)) < 1.5

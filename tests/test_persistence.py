@@ -1,0 +1,69 @@
+"""Tests for index save/load."""
+
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    MAGIC,
+    PersistenceError,
+    load_index,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def small_index(clustered_sets):
+    return SetSimilarityIndex.build(
+        clustered_sets[:40], budget=30, recall_target=0.8, k=24, b=6, seed=3
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip_answers_identical(self, small_index, clustered_sets, tmp_path):
+        path = tmp_path / "index.ssi"
+        small_index.save(path)
+        loaded = SetSimilarityIndex.load(path)
+        q = clustered_sets[0]
+        original = small_index.query(q, 0.3, 1.0)
+        restored = loaded.query(q, 0.3, 1.0)
+        assert restored.answers == original.answers
+        assert restored.candidates == original.candidates
+
+    def test_loaded_index_supports_updates(self, small_index, clustered_sets, tmp_path):
+        path = tmp_path / "index.ssi"
+        small_index.save(path)
+        loaded = SetSimilarityIndex.load(path)
+        sid = loaded.insert({1, 2, 3, 4})
+        assert sid in loaded.query({1, 2, 3, 4}, 0.9, 1.0).answer_sids
+        loaded.delete(sid)
+        assert loaded.n_sets == small_index.n_sets
+
+    def test_plan_preserved(self, small_index, tmp_path):
+        path = tmp_path / "index.ssi"
+        small_index.save(path)
+        loaded = SetSimilarityIndex.load(path)
+        assert loaded.plan.cut_points == small_index.plan.cut_points
+        assert loaded.plan.tables_used == small_index.plan.tables_used
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"NOT-AN-INDEX" + b"\x00" * 50)
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "future.ssi"
+        path.write_bytes(MAGIC + (FORMAT_VERSION + 1).to_bytes(2, "little") + b"x")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_load_type_check(self, tmp_path):
+        path = tmp_path / "notindex.ssi"
+        save_index({"just": "a dict"}, path)
+        with pytest.raises(TypeError):
+            SetSimilarityIndex.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope.ssi")

@@ -1,0 +1,116 @@
+"""Tests for the cost-based query planner and strategy dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.core.planner import PlanEstimate
+from repro.data.weblog import make_weblog_collection
+
+
+@pytest.fixture(scope="module")
+def planned_index():
+    sets = make_weblog_collection(n_sets=500, seed=71)
+    index = SetSimilarityIndex.build(
+        sets, budget=100, recall_target=0.85, k=48, b=6, seed=8, sample_pairs=40_000
+    )
+    return sets, index
+
+
+class TestEstimates:
+    def test_candidate_estimate_tracks_measurement(self, planned_index):
+        sets, index = planned_index
+        planner = index.planner()
+        low, high = 0.3, 1.0
+        predicted = planner.expected_candidates(low, high)
+        measured = [
+            len(index.query(sets[qi], low, high).candidates)
+            for qi in range(0, 500, 50)
+        ]
+        # Order-of-magnitude agreement: the estimate is a workload
+        # average, the measurements are specific queries.
+        assert predicted == pytest.approx(np.mean(measured), rel=1.0)
+
+    def test_answer_estimate_scaling(self, planned_index):
+        _, index = planned_index
+        planner = index.planner()
+        whole = planner.expected_answers(0.0, 1.0)
+        assert whole == pytest.approx(index.n_sets - 1, rel=0.05)
+
+    def test_wider_ranges_no_fewer_answers(self, planned_index):
+        _, index = planned_index
+        planner = index.planner()
+        assert planner.expected_answers(0.2, 0.8) >= planner.expected_answers(0.3, 0.7)
+
+    def test_probe_tables_counts_enclosing_filters(self, planned_index):
+        _, index = planned_index
+        planner = index.planner()
+        cuts = index.plan.cut_points
+        # A range inside [cuts[0], cuts[-1]] touches at most the
+        # enclosing pair's tables.
+        tables = planner.probe_tables(cuts[0], cuts[-1])
+        assert 0 < tables <= index.plan.tables_used
+
+    def test_full_range_probes_nothing(self, planned_index):
+        _, index = planned_index
+        planner = index.planner()
+        estimate = planner.estimate(0.0, 1.0)
+        assert estimate.probe_tables == 0
+        assert estimate.index_cost == float("inf")
+        assert not estimate.use_index
+
+    def test_estimate_fields(self, planned_index):
+        _, index = planned_index
+        estimate = index.planner().estimate(0.5, 1.0)
+        assert isinstance(estimate, PlanEstimate)
+        assert estimate.scan_cost > 0
+        assert estimate.index_cost > 0
+
+
+class TestStrategyDispatch:
+    def test_scan_strategy_is_exact(self, planned_index):
+        sets, index = planned_index
+        q = sets[0]
+        scan_result = index.query(q, 0.3, 1.0, strategy="scan")
+        index_result = index.query(q, 0.3, 1.0, strategy="index")
+        assert index_result.answer_sids <= scan_result.answer_sids
+        assert scan_result.candidates == set(range(len(sets)))
+
+    def test_auto_picks_scan_for_full_range(self, planned_index):
+        sets, index = planned_index
+        result = index.query(sets[0], 0.0, 1.0, strategy="auto")
+        # Full range: scan and (degenerate) index coincide; candidates
+        # must be the whole collection either way.
+        assert len(result.candidates) == len(sets)
+
+    def test_auto_picks_index_for_narrow_high_range(self, planned_index):
+        sets, index = planned_index
+        choice = index.planner().choose(0.6, 1.0)
+        assert choice == "index"
+        result = index.query(sets[0], 0.6, 1.0, strategy="auto")
+        assert len(result.candidates) < len(sets)
+
+    def test_auto_cheaper_or_equal_to_both_on_average(self, planned_index):
+        sets, index = planned_index
+        ranges = [(0.0, 0.4), (0.5, 1.0), (0.2, 0.9), (0.7, 1.0)]
+        auto_total = index_total = scan_total = 0.0
+        for qi, (low, high) in enumerate(ranges):
+            q = sets[qi * 7]
+            auto_total += index.query(q, low, high, strategy="auto").total_time
+            index_total += index.query(q, low, high, strategy="index").total_time
+            scan_total += index.query(q, low, high, strategy="scan").total_time
+        assert auto_total <= min(index_total, scan_total) * 1.3
+
+    def test_invalid_strategy(self, planned_index):
+        sets, index = planned_index
+        with pytest.raises(ValueError):
+            index.query(sets[0], 0.2, 0.8, strategy="magic")
+
+    def test_planner_invalidated_by_updates(self, planned_index):
+        sets, index = planned_index
+        planner_before = index.planner()
+        sid = index.insert({1, 2, 3})
+        planner_after = index.planner()
+        assert planner_after is not planner_before
+        assert planner_after.n_sets == planner_before.n_sets + 1
+        index.delete(sid)

@@ -1,0 +1,72 @@
+"""Tests for the ASCII figure renderer."""
+
+import math
+
+import pytest
+
+from repro.eval.harness import BucketSummary
+from repro.eval.plots import ascii_bars, fig6_ascii, fig7_ascii
+
+
+class TestAsciiBars:
+    def test_basic_rendering(self):
+        out = ascii_bars(["a", "b"], {"x": [1.0, 0.5]})
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 2
+        assert lines[0].count("#") == 40  # full-scale bar
+        assert lines[1].count("#") == 20
+
+    def test_multiple_series_grouped(self):
+        out = ascii_bars(["g"], {"p": [0.4], "r": [0.8]})
+        assert "p" in out and "r" in out
+        assert "0.400" in out and "0.800" in out
+
+    def test_nan_renders_as_empty(self):
+        out = ascii_bars(["g"], {"x": [float("nan")]})
+        assert "(no queries)" in out
+
+    def test_zero_peak(self):
+        out = ascii_bars(["g"], {"x": [0.0]})
+        assert "#" not in out
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a", "b"], {"x": [1.0]})
+
+    def test_validates_width(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], {"x": [1.0]}, width=0)
+
+    def test_custom_format(self):
+        out = ascii_bars(["a"], {"x": [1234.0]}, fmt="{:,.0f}")
+        assert "1,234" in out
+
+
+def _summary(label, recall, precision, scan=100.0, index=50.0):
+    return BucketSummary(
+        label=label,
+        n_queries=10,
+        recall=recall,
+        precision=precision,
+        index_io_time=index * 0.9,
+        index_cpu_time=index * 0.1,
+        scan_io_time=scan * 0.8,
+        scan_cpu_time=scan * 0.2,
+    )
+
+
+class TestFigureRenderers:
+    def test_fig6(self):
+        out = fig6_ascii([_summary("0-0.5%", 0.9, 0.4), _summary("25-35%", 0.95, 0.1)])
+        assert "precision" in out and "recall" in out
+        assert "0-0.5%" in out and "25-35%" in out
+
+    def test_fig7(self):
+        out = fig7_ascii([_summary("0-0.5%", 0.9, 0.4, scan=1000.0, index=300.0)])
+        assert "scan" in out and "index" in out
+        assert "1,000" in out
+
+    def test_fig6_handles_empty_bucket(self):
+        empty = BucketSummary("5-10%", 0, *([math.nan] * 6))
+        out = fig6_ascii([_summary("0-0.5%", 0.9, 0.4), empty])
+        assert "(no queries)" in out

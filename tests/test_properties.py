@@ -1,0 +1,178 @@
+"""Cross-cutting property tests on random plans and distributions.
+
+These lock in invariants the analytic machinery must satisfy for *any*
+input, not just the fixtures used elsewhere: capture probabilities are
+probabilities, plan evaluation respects its definitions, and quantile /
+cdf are mutual inverses on arbitrary histograms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import SimilarityDistribution
+from repro.core.optimizer import (
+    DFI,
+    SFI,
+    CaptureModel,
+    PlannedFilter,
+    evaluate_ranges,
+    greedy_allocate,
+    place_filters,
+)
+
+histograms = st.lists(
+    st.floats(0.0, 1000.0, allow_nan=False), min_size=4, max_size=60
+).filter(lambda m: sum(m) > 0)
+
+cut_sets = st.lists(
+    st.floats(0.05, 0.95), min_size=1, max_size=5, unique=True
+).map(sorted)
+
+
+def _random_plan(cuts, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    delta = float(rng.uniform(0.1, 0.9))
+    filters = place_filters(list(cuts), delta)
+    for f in filters:
+        f.n_tables = int(rng.integers(1, 40))
+    return filters
+
+
+class TestCaptureModelProperties:
+    @given(cut_sets, st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.integers(0, 5))
+    @settings(max_examples=120, deadline=None)
+    def test_capture_is_probability(self, cuts, a, b, seed):
+        lo, hi = sorted((a, b))
+        filters = _random_plan(cuts, seed)
+        model = CaptureModel(list(cuts), filters, b=6)
+        grid = np.linspace(0.0, 1.0, 31)
+        p = model.capture(lo, hi, grid)
+        assert np.all(p >= -1e-12)
+        assert np.all(p <= 1.0 + 1e-12)
+
+    @given(cut_sets, st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_full_range_capture_is_one(self, cuts, seed):
+        filters = _random_plan(cuts, seed)
+        model = CaptureModel(list(cuts), filters, b=6)
+        grid = np.linspace(0.0, 1.0, 11)
+        assert np.all(model.capture(0.0, 1.0, grid) == 1.0)
+
+    @given(cut_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_enclosing_brackets_range(self, cuts):
+        model = CaptureModel(list(cuts), [], b=6)
+        lo, hi = 0.3, 0.62
+        enc_lo, enc_up = model.enclosing(lo, hi)
+        if enc_lo is not None:
+            assert enc_lo <= lo
+        if enc_up is not None:
+            assert enc_up >= hi
+
+    def test_sfi_capture_between_individual_probabilities(self):
+        low = PlannedFilter(0.3, SFI, n_tables=10)
+        high = PlannedFilter(0.7, SFI, n_tables=10)
+        model = CaptureModel([0.3, 0.7], [low, high], b=6)
+        grid = np.linspace(0, 1, 21)
+        capture = model.capture(0.4, 0.6, grid)
+        # Sim(lo) \ Sim(up): never more than Sim(lo) alone.
+        assert np.all(capture <= low.collision_probability(grid, 6) + 1e-12)
+
+
+class TestEvaluateRangesProperties:
+    @given(histograms, cut_sets, st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_are_probabilities(self, mass, cuts, seed):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        filters = _random_plan(cuts, seed)
+        stats = evaluate_ranges(list(cuts), filters, dist, b=6)
+        for s in stats:
+            assert -1e-9 <= s.recall <= 1.0 + 1e-9
+            assert -1e-9 <= s.precision <= 1.0 + 1e-9
+            assert s.expected_candidates >= -1e-9
+            assert s.expected_answer > 0  # empty-answer ranges are skipped
+
+    @given(histograms)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_plan_recall_one(self, mass):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        stats = evaluate_ranges([], [], dist, b=6)
+        assert all(s.recall == pytest.approx(1.0) for s in stats)
+
+    @given(histograms, cut_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_allocation_feasible(self, mass, cuts):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        filters = place_filters(list(cuts), 0.5)
+        budget = 30
+        used = greedy_allocate(filters, budget, dist, b=6)
+        assert used <= budget
+        assert used == sum(f.n_tables for f in filters)
+        if budget >= len(filters):
+            assert all(f.n_tables >= 1 for f in filters)
+
+    @given(histograms, cut_sets, st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_respects_per_filter_cap(self, mass, cuts, cap):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        filters = place_filters(list(cuts), 0.5)
+        greedy_allocate(filters, 60, dist, b=6, max_per_filter=cap)
+        assert all(f.n_tables <= cap for f in filters)
+
+
+class TestDistributionDuality:
+    @given(histograms, st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_cdf_inverse(self, mass, q):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        s = dist.quantile(q)
+        assert dist.mass_between(0.0, s) == pytest.approx(
+            q * dist.total_mass, abs=1e-6 * max(1.0, dist.total_mass)
+        )
+
+    @given(histograms, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_mass_additivity(self, mass, a, b):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        lo, hi = sorted((a, b))
+        left = dist.mass_between(0.0, lo)
+        mid = dist.mass_between(lo, hi)
+        right = dist.mass_between(hi, 1.0)
+        assert left + mid + right == pytest.approx(dist.total_mass, rel=1e-9)
+
+    @given(histograms, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_equidepth_points_sorted_in_range(self, mass, k):
+        dist = SimilarityDistribution(np.array(mass), 100)
+        points = dist.equidepth_points(k)
+        assert points == sorted(points)
+        assert all(0.0 <= p <= 1.0 for p in points)
+
+
+class TestPlacementProperties:
+    @given(cut_sets, st.floats(0.05, 0.95))
+    @settings(max_examples=80)
+    def test_exactly_one_pivot(self, cuts, delta):
+        filters = place_filters(list(cuts), delta)
+        dual = {
+            point
+            for point in cuts
+            if {f.kind for f in filters if f.point == point} == {SFI, DFI}
+        }
+        assert len(dual) == 1
+
+    @given(cut_sets, st.floats(0.05, 0.95))
+    @settings(max_examples=80)
+    def test_kinds_ordered_around_delta(self, cuts, delta):
+        """No SFI strictly below a DFI point (except at the pivot)."""
+        filters = place_filters(list(cuts), delta)
+        sfi_points = [f.point for f in filters if f.kind == SFI]
+        dfi_points = [f.point for f in filters if f.kind == DFI]
+        # Every pure-DFI point lies below every pure-SFI point (the
+        # pivot shares a point and is excluded from both sides).
+        pure_dfi = [p for p in dfi_points if p not in sfi_points]
+        pure_sfi = [p for p in sfi_points if p not in dfi_points]
+        if pure_dfi and pure_sfi:
+            assert max(pure_dfi) < min(pure_sfi)

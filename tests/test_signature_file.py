@@ -1,0 +1,110 @@
+"""Tests for the signature-file baseline (Section 7 related work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.signature_file import SignatureFile
+from repro.core.similarity import jaccard
+
+small_sets = st.frozensets(st.integers(0, 50), min_size=1, max_size=12)
+
+
+class TestEncoding:
+    def test_signature_shape(self):
+        sf = SignatureFile(f=512, w=4)
+        assert sf.encode({1, 2, 3}).shape == (8,)
+
+    def test_deterministic(self):
+        sf = SignatureFile(f=256, w=3)
+        assert np.array_equal(sf.encode({1, 2}), sf.encode({2, 1}))
+
+    def test_superset_signature_covers_subset(self):
+        sf = SignatureFile(f=256, w=3)
+        small = sf.encode({1, 2})
+        big = sf.encode({1, 2, 3, 4})
+        assert np.all((big & small) == small)
+
+    def test_at_most_w_bits_per_element(self):
+        sf = SignatureFile(f=1024, w=5)
+        signature = sf.encode({42})
+        assert int(np.bitwise_count(signature).sum()) <= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SignatureFile(f=0)
+        with pytest.raises(ValueError):
+            SignatureFile(w=0)
+
+
+class TestSubsetQueries:
+    def test_no_false_negatives(self):
+        """The defining guarantee of superimposed coding."""
+        sf = SignatureFile(f=256, w=3)
+        sets = [frozenset({1, 2, 3, 4}), frozenset({3, 4, 5}), frozenset({9})]
+        sf.insert_many(sets)
+        hits = sf.subset_candidates({3, 4})
+        assert 0 in hits and 1 in hits  # both contain {3, 4}
+
+    @given(st.lists(small_sets, min_size=1, max_size=10), small_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_property(self, sets, query):
+        sf = SignatureFile(f=512, w=4)
+        sf.insert_many(sets)
+        hits = set(sf.subset_candidates(query))
+        for sid, stored in enumerate(sets):
+            if query <= stored:
+                assert sid in hits
+
+    def test_false_positives_possible_with_tiny_signature(self):
+        """Cramming many elements into few bits saturates signatures."""
+        sf = SignatureFile(f=8, w=4)
+        sf.insert(frozenset(range(100)))  # signature ~ all ones
+        hits = sf.subset_candidates({123456})
+        assert hits == [0]  # a false positive: 123456 is not stored
+
+    def test_scan_charges_sequential_io(self):
+        sf = SignatureFile(f=512, w=4)
+        sf.insert_many([frozenset({i}) for i in range(100)])
+        before = sf.io.snapshot()
+        sf.subset_candidates({1})
+        delta = sf.io.snapshot() - before
+        assert delta.sequential_reads == sf.n_pages
+        assert delta.random_reads == 0
+
+
+class TestSimilarityScreen:
+    def test_identical_sets_pass_any_threshold(self):
+        sf = SignatureFile(f=512, w=4)
+        sf.insert({1, 2, 3})
+        assert sf.similarity_screen({1, 2, 3}, 1.0) == [0]
+
+    def test_disjoint_sets_fail_high_threshold(self):
+        sf = SignatureFile(f=2048, w=2)
+        sf.insert(frozenset(range(10)))
+        assert sf.similarity_screen(frozenset(range(100, 110)), 0.5) == []
+
+    def test_screen_is_not_unbiased(self):
+        """The Section 7 critique: the bit-overlap heuristic deviates
+        from true Jaccard in a data-dependent way (here: superimposed
+        collisions inflate the overlap of a dense pair)."""
+        sf = SignatureFile(f=64, w=4)  # deliberately saturated
+        a = frozenset(range(0, 40))
+        b = frozenset(range(20, 60))
+        sig_a, sig_b = sf.encode(a), sf.encode(b)
+        inter = int(np.bitwise_count(sig_a & sig_b).sum())
+        union = int(np.bitwise_count(sig_a | sig_b).sum())
+        heuristic = inter / union
+        assert abs(heuristic - jaccard(a, b)) > 0.1
+
+    def test_invalid_threshold(self):
+        sf = SignatureFile()
+        with pytest.raises(ValueError):
+            sf.similarity_screen({1}, 1.5)
+
+    def test_page_count_grows_with_sets(self):
+        sf = SignatureFile(f=4096, w=4)  # 512-byte signatures: 8/page
+        sf.insert_many([frozenset({i}) for i in range(20)])
+        assert sf.n_pages == 3
+        assert sf.n_sets == 20

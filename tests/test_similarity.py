@@ -1,0 +1,117 @@
+"""Unit tests for set similarity measures (Definition 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import containment, dice, jaccard, jaccard_distance, overlap
+
+small_sets = st.frozensets(st.integers(0, 30), max_size=15)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(set(), {1}) == 0.0
+
+    def test_accepts_iterables(self):
+        assert jaccard([1, 2, 2, 3], (3, 2, 1)) == 1.0
+
+    def test_accepts_strings_as_elements(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(small_sets)
+    @settings(max_examples=50)
+    def test_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_one_iff_equal(self, a, b):
+        assert (jaccard(a, b) == 1.0) == (a == b)
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_subset_formula(self, a, b):
+        """sim = |A&B| / |A|B| by definition."""
+        if not a and not b:
+            return
+        assert jaccard(a, b) == pytest.approx(len(a & b) / len(a | b))
+
+
+class TestJaccardDistanceMetric:
+    """The paper notes 1 - sim is a metric; verify the axioms."""
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_non_negative_and_symmetric(self, a, b):
+        d = jaccard_distance(a, b)
+        assert d >= 0.0
+        assert d == jaccard_distance(b, a)
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=100)
+    def test_identity_of_indiscernibles(self, a, b):
+        assert (jaccard_distance(a, b) == 0.0) == (a == b)
+
+    @given(small_sets, small_sets, small_sets)
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, a, b, c):
+        assert jaccard_distance(a, c) <= (
+            jaccard_distance(a, b) + jaccard_distance(b, c) + 1e-12
+        )
+
+
+class TestOtherMeasures:
+    def test_containment_direction(self):
+        assert containment({1, 2}, {1, 2, 3}) == 1.0
+        assert containment({1, 2, 3}, {1, 2}) == pytest.approx(2 / 3)
+
+    def test_containment_empty(self):
+        assert containment(set(), {1}) == 1.0
+
+    def test_dice_known(self):
+        assert dice({1, 2, 3}, {2, 3, 4}) == pytest.approx(4 / 6)
+
+    def test_dice_empty(self):
+        assert dice(set(), set()) == 1.0
+        assert dice(set(), {1}) == 0.0
+
+    def test_overlap_subset_is_one(self):
+        assert overlap({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_overlap_empty(self):
+        assert overlap(set(), set()) == 1.0
+        assert overlap(set(), {1}) == 0.0
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=50)
+    def test_dice_vs_jaccard_order(self, a, b):
+        """Dice >= Jaccard always (2j/(1+j) >= j)."""
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(small_sets, small_sets)
+    @settings(max_examples=50)
+    def test_overlap_bounds_jaccard(self, a, b):
+        assert overlap(a, b) >= jaccard(a, b) - 1e-12

@@ -1,0 +1,121 @@
+"""Stateful property tests: structures vs oracle models under random
+operation sequences (hypothesis RuleBasedStateMachine)."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.index import SetSimilarityIndex
+from repro.core.similarity import jaccard
+from repro.storage.btree import BTree
+from repro.storage.iomodel import IOCostModel
+from repro.storage.pager import PageManager
+
+element_sets = st.frozensets(st.integers(0, 60), min_size=1, max_size=12)
+
+
+class IndexMachine(RuleBasedStateMachine):
+    """Insert/delete/query an index; answers must be a (verified)
+    subset of brute force, and exact-match queries must self-hit."""
+
+    @initialize()
+    def setup(self):
+        seed_sets = [frozenset({i, i + 1, i + 2}) for i in range(0, 30, 3)]
+        self.index = SetSimilarityIndex.build(
+            seed_sets, budget=20, recall_target=0.7, k=16, b=5, seed=1
+        )
+        self.model: dict[int, frozenset] = dict(enumerate(seed_sets))
+
+    @rule(elements=element_sets)
+    def insert(self, elements):
+        sid = self.index.insert(elements)
+        assert sid not in self.model
+        self.model[sid] = frozenset(elements)
+
+    @rule(data=st.data())
+    def delete_some(self, data):
+        if not self.model:
+            return
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        self.index.delete(sid)
+        del self.model[sid]
+
+    @rule(data=st.data(), low=st.floats(0.0, 1.0), high=st.floats(0.0, 1.0))
+    def query_range(self, data, low, high):
+        if not self.model:
+            return
+        low, high = sorted((low, high))
+        sid = data.draw(st.sampled_from(sorted(self.model)))
+        query_set = self.model[sid]
+        result = self.index.query(query_set, low, high)
+        truth = {
+            other
+            for other, stored in self.model.items()
+            if low <= jaccard(stored, query_set) <= high
+        }
+        # No hallucinated answers, correct similarities, truth-subset.
+        assert result.answer_sids <= truth
+        for other, similarity in result.answers:
+            assert similarity == jaccard(self.model[other], query_set)
+        # The query's own (identical) set always collides in every table.
+        if high == 1.0:
+            assert sid in result.answer_sids
+
+    @invariant()
+    def sizes_agree(self):
+        assert self.index.n_sets == len(self.model)
+        assert self.index.sids == set(self.model)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """B-tree vs dict under interleaved inserts/deletes/searches."""
+
+    @initialize()
+    def setup(self):
+        self.tree = BTree(PageManager(IOCostModel()), min_degree=2)
+        self.model: dict[int, int] = {}
+
+    @rule(key=st.integers(0, 50), value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        if not self.model:
+            return
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.delete(key)
+        del self.model[key]
+
+    @rule(key=st.integers(0, 50))
+    def search(self, key):
+        if key in self.model:
+            assert self.tree.search(key) == self.model[key]
+        else:
+            assert key not in self.tree
+
+    @rule(low=st.integers(0, 50), high=st.integers(0, 50))
+    def range_scan(self, low, high):
+        low, high = sorted((low, high))
+        got = list(self.tree.range_scan(low, high))
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if low <= k <= high
+        )
+        assert got == expected
+
+    @invariant()
+    def count_agrees(self):
+        assert self.tree.n_keys == len(self.model)
+
+
+TestIndexMachine = IndexMachine.TestCase
+TestIndexMachine.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

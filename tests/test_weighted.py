@@ -1,0 +1,155 @@
+"""Tests for weighted Jaccard and the weighted index adapter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import jaccard
+from repro.core.weighted import (
+    WeightedSetSimilarityIndex,
+    quantize,
+    weighted_jaccard,
+)
+
+weight_maps = st.dictionaries(
+    st.integers(0, 20), st.floats(0.0, 10.0, allow_nan=False), max_size=8
+)
+
+
+class TestWeightedJaccard:
+    def test_binary_weights_match_jaccard(self):
+        a = {1: 1, 2: 1, 3: 1}
+        b = {2: 1, 3: 1, 4: 1}
+        assert weighted_jaccard(a, b) == pytest.approx(
+            jaccard({1, 2, 3}, {2, 3, 4})
+        )
+
+    def test_known_value(self):
+        a = {"x": 2.0, "y": 1.0}
+        b = {"x": 1.0, "z": 1.0}
+        # min: x->1; max: x->2, y->1, z->1.
+        assert weighted_jaccard(a, b) == pytest.approx(1.0 / 4.0)
+
+    def test_identical(self):
+        a = {1: 3.5, 2: 0.5}
+        assert weighted_jaccard(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert weighted_jaccard({1: 2.0}, {2: 2.0}) == 0.0
+
+    def test_empty(self):
+        assert weighted_jaccard({}, {}) == 1.0
+        assert weighted_jaccard({}, {1: 1.0}) == 0.0
+
+    def test_zero_weights_ignored(self):
+        assert weighted_jaccard({1: 0.0, 2: 1.0}, {2: 1.0}) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_jaccard({1: -1.0}, {})
+
+    @given(weight_maps, weight_maps)
+    @settings(max_examples=100)
+    def test_bounds_and_symmetry(self, a, b):
+        s = weighted_jaccard(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == weighted_jaccard(b, a)
+
+    @given(weight_maps)
+    @settings(max_examples=50)
+    def test_scale_invariance(self, a):
+        """Weighted Jaccard is invariant to scaling both arguments."""
+        scaled = {k: v * 3.0 for k, v in a.items()}
+        assert weighted_jaccard(a, a) == pytest.approx(
+            weighted_jaccard(scaled, scaled)
+        )
+
+
+class TestQuantize:
+    def test_replica_counts(self):
+        replicas = quantize({1: 3.0, 2: 1.0}, quantum=1.0)
+        assert replicas == {(1, 0), (1, 1), (1, 2), (2, 0)}
+
+    def test_zero_weight_no_replicas(self):
+        assert quantize({1: 0.0}, 1.0) == frozenset()
+
+    def test_quantum_scaling(self):
+        assert len(quantize({1: 3.0}, quantum=0.5)) == 6
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            quantize({1: 1.0}, 0.0)
+
+    @given(weight_maps, weight_maps)
+    @settings(max_examples=100)
+    def test_replica_jaccard_equals_quantized_weighted(self, a, b):
+        """The exactness property the adapter relies on."""
+        quantum = 0.5
+        qa = {k: round(v / quantum) for k, v in a.items()}
+        qb = {k: round(v / quantum) for k, v in b.items()}
+        replica = jaccard(quantize(a, quantum), quantize(b, quantum))
+        expected = weighted_jaccard(qa, qb)
+        assert replica == pytest.approx(expected)
+
+    def test_quantization_error_small_for_fine_quantum(self):
+        rng = np.random.default_rng(0)
+        a = {i: float(rng.uniform(1, 10)) for i in range(20)}
+        b = {i: float(rng.uniform(1, 10)) for i in range(10, 30)}
+        exact = weighted_jaccard(a, b)
+        approx = jaccard(quantize(a, 0.01), quantize(b, 0.01))
+        assert approx == pytest.approx(exact, abs=0.01)
+
+
+class TestWeightedIndex:
+    @pytest.fixture(scope="class")
+    def weighted_collection(self):
+        rng = np.random.default_rng(5)
+        base = {i: float(rng.integers(1, 6)) for i in range(30)}
+        collection = []
+        for _ in range(40):
+            member = dict(base)
+            for key in list(member)[:8]:
+                if rng.random() < 0.5:
+                    member[key] = float(rng.integers(1, 6))
+            collection.append(member)
+        for _ in range(40):
+            collection.append(
+                {int(k): float(rng.integers(1, 6)) for k in rng.integers(100, 200, size=20)}
+            )
+        return collection
+
+    def test_build_and_query(self, weighted_collection):
+        index = WeightedSetSimilarityIndex.build(
+            weighted_collection, quantum=1.0, budget=40, recall_target=0.8, k=32, seed=2
+        )
+        assert index.n_sets == len(weighted_collection)
+        result = index.query_above(weighted_collection[0], 0.5)
+        assert 0 in result.answer_sids
+        # Reported similarities equal the quantized weighted Jaccard.
+        q = {k: round(v) for k, v in weighted_collection[0].items()}
+        for sid, sim in result.answers:
+            stored = {k: round(v) for k, v in weighted_collection[sid].items()}
+            assert sim == pytest.approx(weighted_jaccard(q, stored))
+
+    def test_recall_on_similar_group(self, weighted_collection):
+        index = WeightedSetSimilarityIndex.build(
+            weighted_collection, quantum=1.0, budget=40, recall_target=0.8, k=32, seed=2
+        )
+        truth = {
+            sid
+            for sid, w in enumerate(weighted_collection)
+            if weighted_jaccard(weighted_collection[0], w) >= 0.5
+        }
+        got = index.query_above(weighted_collection[0], 0.5).answer_sids
+        assert len(got & truth) / len(truth) > 0.6
+
+    def test_insert_delete(self, weighted_collection):
+        index = WeightedSetSimilarityIndex.build(
+            weighted_collection[:20], quantum=1.0, budget=20, k=16, seed=3
+        )
+        sid = index.insert({999: 5.0, 998: 2.0})
+        found = index.query_above({999: 5.0, 998: 2.0}, 0.9)
+        assert sid in found.answer_sids
+        index.delete(sid)
+        assert index.n_sets == 20
