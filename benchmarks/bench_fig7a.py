@@ -29,13 +29,19 @@ def config(scale):
     )
 
 
-def test_fig7a(benchmark, config, emit):
+def test_fig7a(benchmark, config, emit, emit_json, trace_queries):
     result = benchmark.pedantic(
-        run_fig7, args=("set1", config), kwargs={"budget": BUDGET}, rounds=1, iterations=1
+        run_fig7,
+        args=("set1", config),
+        kwargs={"budget": BUDGET, "collect_trace": trace_queries},
+        rounds=1,
+        iterations=1,
     )
     from repro.eval.plots import fig7_ascii
 
     emit("FIG7A", result.table() + "\n\n" + fig7_ascii(result.summaries))
+    if trace_queries:
+        emit_json("FIG7A-traces", result.trace_summaries)
     populated = [s for s in result.summaries if s.n_queries > 0]
     assert populated
     # Scan time is flat across buckets.

@@ -15,6 +15,7 @@ from repro.core.filter_index import SimilarityFilterIndex
 from repro.core.index import SetSimilarityIndex
 from repro.core.minhash import MinHasher
 from repro.data.weblog import make_weblog_collection
+from repro.obs.explain import explain_json
 from repro.storage.btree import BTree
 from repro.storage.iomodel import IOCostModel
 from repro.storage.pager import PageManager
@@ -23,6 +24,15 @@ from repro.storage.pager import PageManager
 @pytest.fixture(scope="module")
 def sets(scale):
     return make_weblog_collection(n_sets=min(scale.n_sets, 1000), seed=17)
+
+
+@pytest.fixture(scope="module")
+def query_index(sets, scale):
+    """A built index shared by the read-only query benchmarks."""
+    return SetSimilarityIndex.build(
+        sets[:300], budget=100, recall_target=0.85, k=scale.k, seed=3,
+        sample_pairs=20_000,
+    )
 
 
 def test_minhash_signature(benchmark, sets, scale):
@@ -52,6 +62,26 @@ def test_sfi_probe(benchmark, sets, scale):
     sfi.insert_many(matrix, list(range(len(sets))))
     query = embedder.embed(sets[0])
     benchmark(sfi.probe, query)
+
+
+def test_query_untraced(benchmark, query_index, sets):
+    """Full query pipeline with tracing off (the no-op span path).
+
+    Compare against ``test_query_traced``: the gap is the total cost
+    of the observability layer, required to stay under 5%... for the
+    *disabled* path it is the cost of the disabled checks themselves.
+    """
+    benchmark(query_index.query, sets[0], 0.5, 1.0)
+
+
+def test_query_traced(benchmark, query_index, sets, emit_json):
+    """Full query pipeline with per-query tracing forced on."""
+
+    def traced():
+        return query_index.query(sets[0], 0.5, 1.0, explain=True)
+
+    emit_json("MICRO-query-trace", explain_json(traced().trace))
+    benchmark(traced)
 
 
 def test_index_build_small(benchmark, sets, scale):

@@ -17,6 +17,7 @@ is scale-stable; pytest-benchmark adds real wall-clock per kernel.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -52,6 +53,19 @@ def scale() -> BenchScale:
     return _SCALES[name]
 
 
+@pytest.fixture(scope="session")
+def trace_queries() -> bool:
+    """Whether benches should collect per-query trace summaries.
+
+    Enabled by ``REPRO_BENCH_TRACE=1``; drivers pass it through as
+    ``ExperimentHarness.run(collect_trace=...)`` and attach the
+    resulting ``QueryRecord.trace_summary`` dicts to their JSON output
+    via :func:`emit_json`.  Off by default: tracing every query costs
+    a few percent of throughput.
+    """
+    return os.environ.get("REPRO_BENCH_TRACE", "") not in ("", "0")
+
+
 @pytest.fixture
 def emit(capfd):
     """Print a result table past pytest's capture and persist it."""
@@ -62,5 +76,22 @@ def emit(capfd):
         with capfd.disabled():
             print(block)
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(block)
+
+    return _emit
+
+
+@pytest.fixture
+def emit_json():
+    """Persist a structured (JSON) result artifact alongside the tables.
+
+    Used for machine-readable outputs -- per-query trace summaries,
+    metrics snapshots -- that the text tables cannot carry.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, payload) -> Path:
+        path = RESULTS_DIR / f"{experiment_id}.json"
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        return path
 
     return _emit

@@ -32,8 +32,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.filter_function import FilterFunction
+from repro.obs import metrics, trace
 from repro.storage.hashtable import BucketHashTable
 from repro.storage.pager import PageManager
+
+_PROBES = metrics.counter("banding.probes")
+_CANDIDATES = metrics.counter("banding.candidates")
 
 
 class BandingIndex:
@@ -119,10 +123,19 @@ class BandingIndex:
 
     def probe(self, signature: np.ndarray) -> set[int]:
         """Sids colliding with the query in at least one band."""
-        sids: set[int] = set()
-        for key, table in zip(self._keys(signature), self._tables):
-            sids.update(table.probe(key))
-        return sids
+        with trace.span(
+            "banding_probe", s_star=self.threshold, r=self.r, l=self.n_tables
+        ) as sp:
+            sids: set[int] = set()
+            for key, table in zip(self._keys(signature), self._tables):
+                sids.update(table.probe(key))
+            _PROBES.inc()
+            _CANDIDATES.inc(len(sids))
+            if sp.recording:
+                sp.set(
+                    tables_probed=self.n_tables, candidates=len(sids), _sids=sids
+                )
+            return sids
 
     def collision_probability(self, s) -> float | np.ndarray:
         """``p(s) = 1 - (1 - s**r)**l`` in Jaccard similarity."""

@@ -19,6 +19,7 @@ from typing import Iterable
 
 from repro.core.index import QueryResult
 from repro.core.similarity import jaccard
+from repro.obs import trace
 from repro.storage.setstore import SetStore
 
 
@@ -33,22 +34,32 @@ class SequentialScan:
         """All stored sets with similarity in ``[sigma_low, sigma_high]``."""
         if not 0.0 <= sigma_low <= sigma_high <= 1.0:
             raise ValueError(f"invalid similarity range [{sigma_low}, {sigma_high}]")
-        before = self.io.snapshot()
-        query_set = frozenset(elements)
-        answers: list[tuple[int, float]] = []
-        candidates: set[int] = set()
-        for sid, stored in self.store.scan():
-            candidates.add(sid)
-            self.io.cpu(len(stored) + len(query_set))
-            similarity = jaccard(stored, query_set)
-            if sigma_low <= similarity <= sigma_high:
-                answers.append((sid, similarity))
-        answers.sort(key=lambda pair: (-pair[1], pair[0]))
-        delta = self.io.snapshot() - before
-        return QueryResult(
-            answers=answers,
-            candidates=candidates,
-            io=delta,
-            io_time=self.io.io_time(delta),
-            cpu_time=self.io.cpu_time(delta),
-        )
+        with trace.capture(
+            "seq_scan",
+            io=self.io,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            n_pages=self.store.n_pages,
+        ) as root:
+            before = self.io.snapshot()
+            query_set = frozenset(elements)
+            answers: list[tuple[int, float]] = []
+            candidates: set[int] = set()
+            for sid, stored in self.store.scan():
+                candidates.add(sid)
+                self.io.cpu(len(stored) + len(query_set))
+                similarity = jaccard(stored, query_set)
+                if sigma_low <= similarity <= sigma_high:
+                    answers.append((sid, similarity))
+            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            delta = self.io.snapshot() - before
+            if root is not None:
+                root.set(n_candidates=len(candidates), n_verified=len(answers))
+            return QueryResult(
+                answers=answers,
+                candidates=candidates,
+                io=delta,
+                io_time=self.io.io_time(delta),
+                cpu_time=self.io.cpu_time(delta),
+                trace=root,
+            )

@@ -28,7 +28,11 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.minhash import stable_element_hash
+from repro.obs import metrics, trace
 from repro.storage.iomodel import IOCostModel
+
+_SCREENS = metrics.counter("signature_file.screens")
+_SCREEN_HITS = metrics.counter("signature_file.screen_hits")
 
 
 def _element_positions(element, f: int, w: int) -> np.ndarray:
@@ -106,13 +110,17 @@ class SignatureFile:
         ``query <= stored`` then every query bit is set in the stored
         signature.  False positives must be verified by the caller.
         """
-        query = self.encode(elements)
-        self._charge_scan()
-        hits = []
-        for sid, signature in enumerate(self._signatures):
-            if np.all((signature & query) == query):
-                hits.append(sid)
-        return hits
+        with trace.span("signature_subset_scan", n_pages=self.n_pages) as sp:
+            query = self.encode(elements)
+            self._charge_scan()
+            hits = []
+            for sid, signature in enumerate(self._signatures):
+                if np.all((signature & query) == query):
+                    hits.append(sid)
+            _SCREENS.inc()
+            _SCREEN_HITS.inc(len(hits))
+            sp.set(candidates=len(hits))
+            return hits
 
     def similarity_screen(self, elements: Iterable, threshold: float) -> list[int]:
         """Sids whose signature bit-overlap fraction reaches ``threshold``.
@@ -125,12 +133,20 @@ class SignatureFile:
         """
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        query = self.encode(elements)
-        self._charge_scan()
-        hits = []
-        for sid, signature in enumerate(self._signatures):
-            inter = int(np.bitwise_count(signature & query).sum())
-            union = int(np.bitwise_count(signature | query).sum())
-            if union == 0 or inter / union >= threshold:
-                hits.append(sid)
-        return hits
+        with trace.span(
+            "signature_similarity_scan",
+            threshold=threshold,
+            n_pages=self.n_pages,
+        ) as sp:
+            query = self.encode(elements)
+            self._charge_scan()
+            hits = []
+            for sid, signature in enumerate(self._signatures):
+                inter = int(np.bitwise_count(signature & query).sum())
+                union = int(np.bitwise_count(signature | query).sum())
+                if union == 0 or inter / union >= threshold:
+                    hits.append(sid)
+            _SCREENS.inc()
+            _SCREEN_HITS.inc(len(hits))
+            sp.set(candidates=len(hits))
+            return hits

@@ -1,24 +1,30 @@
-"""Command-line interface: build, query and evaluate set indexes.
+"""Command-line interface: build, query, explain and evaluate set indexes.
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli build  --input sets.txt --output index.ssi [options]
-    python -m repro.cli query  --index index.ssi --set "a b c" --low 0.4 --high 0.9
-    python -m repro.cli stats  --index index.ssi
-    python -m repro.cli demo   [--n-sets 500]
+    python -m repro.cli [-v] build   --input sets.txt --output index.ssi [options]
+    python -m repro.cli query   --index index.ssi --set "a b c" --low 0.4 --high 0.9 [--explain]
+    python -m repro.cli explain --index index.ssi --set "a b c" --low 0.4 --high 0.9 [--json]
+    python -m repro.cli stats   --index index.ssi
+    python -m repro.cli demo    [--n-sets 500]
 
 The input format for ``build`` is one set per line, elements separated
 by whitespace (elements are treated as opaque strings).  ``query``
-prints one ``sid<TAB>similarity`` line per answer.
+prints one ``sid<TAB>similarity`` line per answer; with ``--explain``
+it appends the traced plan tree.  ``explain`` runs the query purely
+for its plan tree (or structured JSON with ``--json``).  ``-v``/``-vv``
+raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.core.index import SetSimilarityIndex
+from repro.obs import configure_logging, explain_json, render_trace
 
 
 def read_sets(path: Path) -> list[frozenset[str]]:
@@ -62,19 +68,45 @@ def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run one similarity range query against a saved index."""
     index = SetSimilarityIndex.load(args.index)
     query_set = frozenset(args.set.split())
-    result = index.query(query_set, args.low, args.high)
+    explain = args.explain or args.explain_json
+    result = index.query(
+        query_set, args.low, args.high, strategy=args.strategy, explain=explain
+    )
     for sid, similarity in result.answers:
         print(f"{sid}\t{similarity:.4f}")
     print(
-        f"# {len(result.answers)} answers from {len(result.candidates)} candidates, "
+        f"# {result.n_verified} answers from {result.n_candidates} candidates, "
         f"simulated time {result.total_time:.0f}",
         file=sys.stderr,
     )
+    if args.explain:
+        print(render_trace(result.trace))
+    if args.explain_json:
+        print(json.dumps(explain_json(result.trace), indent=2))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: trace one query and print its plan tree (or JSON).
+
+    The query is executed for real (the plan tree reports observed,
+    not estimated, bucket reads and candidate counts); only the
+    answers are withheld.
+    """
+    index = SetSimilarityIndex.load(args.index)
+    query_set = frozenset(args.set.split())
+    result = index.query(
+        query_set, args.low, args.high, strategy=args.strategy, explain=True
+    )
+    if args.json:
+        print(json.dumps(explain_json(result.trace), indent=2))
+    else:
+        print(render_trace(result.trace))
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """``stats``: describe a saved index's plan and parameters."""
+    """``stats``: describe a saved index's plan, parameters and tables."""
     index = SetSimilarityIndex.load(args.index)
     plan = index.plan
     print(f"sets indexed:      {index.n_sets}")
@@ -86,6 +118,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"expected precision:{plan.expected_precision:.3f}")
     for f in plan.filters:
         print(f"  {f.kind.upper()} @ {f.point:.3f}: {f.n_tables} tables")
+    print("per-filter occupancy:")
+    for fs in index.filter_stats():
+        print(
+            f"  {fs['kind'].upper()} @ {fs['point']:.3f} "
+            f"(s*={fs['s_star']:.3f}, r={fs['r']}, l={fs['n_tables']}): "
+            f"{fs['entries_per_table']} entries/table over {fs['pages']} pages, "
+            f"load factor {fs['load_factor']:.3f}, "
+            f"occupancy avg/max {fs['avg_occupancy']:.2f}/{fs['max_occupancy']}, "
+            f"longest chain {fs['max_chain_pages']} page(s)"
+        )
     return 0
 
 
@@ -109,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tunable similar-set retrieval (SIGMOD 2001 reproduction)"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log more (-v: INFO, -vv: DEBUG) on the 'repro' loggers",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an index from a set file")
@@ -127,7 +173,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--set", required=True, help="query elements, space separated")
     p_query.add_argument("--low", type=float, default=0.5)
     p_query.add_argument("--high", type=float, default=1.0)
+    p_query.add_argument(
+        "--strategy", choices=("index", "scan", "auto"), default="index"
+    )
+    p_query.add_argument(
+        "--explain", action="store_true",
+        help="trace the query and append its plan tree",
+    )
+    p_query.add_argument(
+        "--explain-json", action="store_true",
+        help="trace the query and append the EXPLAIN JSON",
+    )
     p_query.set_defaults(func=cmd_query)
+
+    p_explain = sub.add_parser(
+        "explain", help="trace one query and print its plan tree"
+    )
+    p_explain.add_argument("--index", required=True)
+    p_explain.add_argument(
+        "--set", required=True, help="query elements, space separated"
+    )
+    p_explain.add_argument("--low", type=float, default=0.5)
+    p_explain.add_argument("--high", type=float, default=1.0)
+    p_explain.add_argument(
+        "--strategy", choices=("index", "scan", "auto"), default="index"
+    )
+    p_explain.add_argument(
+        "--json", action="store_true", help="emit structured JSON instead"
+    )
+    p_explain.set_defaults(func=cmd_explain)
 
     p_stats = sub.add_parser("stats", help="describe a built index")
     p_stats.add_argument("--index", required=True)
@@ -143,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -28,8 +28,19 @@ import numpy as np
 from repro.core.filter_function import FilterFunction
 from repro.hamming.bitvector import complement
 from repro.hamming.sampling import BitSampler
+from repro.obs import metrics, trace
 from repro.storage.hashtable import BucketHashTable
 from repro.storage.pager import PageManager
+
+# Probe instruments (shared across all SFI/DFI instances); per-table
+# candidate-count histograms feed the collision statistics the tuning
+# experiments read.
+_SFI_PROBES = metrics.counter("sfi.probes")
+_SFI_CANDIDATES = metrics.counter("sfi.candidates")
+_SFI_DUPLICATES = metrics.counter("sfi.duplicate_candidates")
+_DFI_PROBES = metrics.counter("dfi.probes")
+_DFI_CANDIDATES = metrics.counter("dfi.candidates")
+_TABLE_CANDIDATES = metrics.histogram("sfi.table_candidates")
 
 
 class SimilarityFilterIndex:
@@ -52,6 +63,9 @@ class SimilarityFilterIndex:
         provisioning).
     seed:
         Freezes the random bit-position samples.
+    sigma_point:
+        Optional Jaccard cut point this filter serves in the overall
+        plan; purely observability metadata (surfaced by EXPLAIN).
     """
 
     def __init__(
@@ -62,6 +76,7 @@ class SimilarityFilterIndex:
         pager: PageManager,
         expected_entries: int = 1024,
         seed: int = 0,
+        sigma_point: float | None = None,
     ):
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
@@ -69,6 +84,7 @@ class SimilarityFilterIndex:
             raise ValueError(f"n_tables must be positive, got {n_tables}")
         self.threshold = threshold
         self.n_bits = n_bits
+        self.sigma_point = sigma_point
         self.filter = FilterFunction.for_threshold(threshold, n_tables)
         rng = np.random.default_rng(seed)
         self._samplers = [
@@ -116,10 +132,77 @@ class SimilarityFilterIndex:
 
     def probe(self, query: np.ndarray) -> set[int]:
         """``SimVector(s*, q)``: union of the matching bucket of each table."""
-        sids: set[int] = set()
-        for sampler, table in zip(self._samplers, self._tables):
-            sids.update(table.probe(sampler.key(query)))
-        return sids
+        if not trace.is_active():
+            # Untraced fast path: identical to the pre-instrumentation
+            # loop plus aggregate counters (probe cost is per-table, so
+            # per-table bookkeeping must stay out of this branch).
+            sids: set[int] = set()
+            total = 0
+            for sampler, table in zip(self._samplers, self._tables):
+                got = table.probe(sampler.key(query))
+                total += len(got)
+                sids.update(got)
+            _SFI_PROBES.value += 1
+            _SFI_CANDIDATES.value += len(sids)
+            _SFI_DUPLICATES.value += total - len(sids)
+            return sids
+        with trace.span(
+            "sfi_probe",
+            s_star=self.threshold,
+            sigma=getattr(self, "sigma_point", None),
+            r=self.filter.r,
+            l=len(self._tables),
+        ) as sp:
+            sids = set()
+            total = 0
+            per_table: list[int] = []
+            for sampler, table in zip(self._samplers, self._tables):
+                got = table.probe(sampler.key(query))
+                total += len(got)
+                per_table.append(len(got))
+                _TABLE_CANDIDATES.observe(len(got))
+                sids.update(got)
+            _SFI_PROBES.inc()
+            _SFI_CANDIDATES.inc(len(sids))
+            _SFI_DUPLICATES.inc(total - len(sids))
+            sp.set(
+                tables_probed=len(self._tables),
+                candidates=len(sids),
+                collisions=total - len(sids),
+                table_candidates=per_table,
+                _sids=sids,
+            )
+            return sids
+
+    def table_stats(self, detail: bool = False) -> dict:
+        """Aggregate occupancy/load statistics over the ``l`` tables.
+
+        With ``detail=True`` the per-table
+        :meth:`~repro.storage.hashtable.BucketHashTable.load_stats`
+        dicts are included under ``"tables"``.
+        """
+        per_table = [table.load_stats() for table in self._tables]
+        stats = {
+            "n_tables": len(self._tables),
+            "r": self.filter.r,
+            "entries_per_table": self.n_entries,
+            "pages": sum(t["n_pages"] for t in per_table),
+            "load_factor": (
+                sum(t["load_factor"] for t in per_table) / len(per_table)
+                if per_table else 0.0
+            ),
+            "avg_occupancy": (
+                sum(t["avg_occupancy"] for t in per_table) / len(per_table)
+                if per_table else 0.0
+            ),
+            "max_occupancy": max((t["max_occupancy"] for t in per_table), default=0),
+            "max_chain_pages": max(
+                (t["max_chain_pages"] for t in per_table), default=0
+            ),
+        }
+        if detail:
+            stats["tables"] = per_table
+        return stats
 
     def __repr__(self) -> str:
         return (
@@ -144,11 +227,13 @@ class DissimilarityFilterIndex:
         pager: PageManager,
         expected_entries: int = 1024,
         seed: int = 0,
+        sigma_point: float | None = None,
     ):
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
         self.threshold = threshold
         self.n_bits = n_bits
+        self.sigma_point = sigma_point
         self._sfi = SimilarityFilterIndex(
             1.0 - threshold, n_tables, n_bits, pager, expected_entries, seed
         )
@@ -181,7 +266,31 @@ class DissimilarityFilterIndex:
 
     def probe(self, query: np.ndarray) -> set[int]:
         """``DissimVector(s*, q)``: probe the inner SFI with ``~q``."""
-        return self._sfi.probe(complement(query, self.n_bits))
+        if not trace.is_active():
+            sids = self._sfi.probe(complement(query, self.n_bits))
+            _DFI_PROBES.value += 1
+            _DFI_CANDIDATES.value += len(sids)
+            return sids
+        with trace.span(
+            "dfi_probe",
+            s_star=self.threshold,
+            sigma=getattr(self, "sigma_point", None),
+            r=self.r,
+            l=self.n_tables,
+        ) as sp:
+            sids = self._sfi.probe(complement(query, self.n_bits))
+            _DFI_PROBES.inc()
+            _DFI_CANDIDATES.inc(len(sids))
+            sp.set(
+                tables_probed=self.n_tables,
+                candidates=len(sids),
+                _sids=sids,
+            )
+            return sids
+
+    def table_stats(self, detail: bool = False) -> dict:
+        """Occupancy statistics of the underlying tables (see SFI)."""
+        return self._sfi.table_stats(detail=detail)
 
     def __repr__(self) -> str:
         return (

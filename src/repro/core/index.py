@@ -13,7 +13,8 @@ paper claims for the hash-based primitives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -23,9 +24,20 @@ from repro.core.embedding import SetEmbedder
 from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIndex
 from repro.core.optimizer import SFI, IndexPlan, greedy_allocate, plan_index
 from repro.core.similarity import jaccard
+from repro.obs import metrics, trace
+from repro.obs.explain import probe_spans
+from repro.obs.trace import Span
 from repro.storage.iomodel import IOCostModel, IOStats
 from repro.storage.pager import PageManager
 from repro.storage.setstore import SetStore
+
+logger = logging.getLogger(__name__)
+
+_QUERIES = metrics.counter("query.count")
+_QUERY_CANDIDATES = metrics.counter("query.candidates")
+_QUERY_VERIFIED = metrics.counter("query.verified_hits")
+_QUERY_FALSE_POSITIVES = metrics.counter("query.false_positives")
+_CANDIDATES_PER_QUERY = metrics.histogram("query.candidates_per_query")
 
 
 @dataclass
@@ -38,6 +50,12 @@ class QueryResult:
     be missing).  ``candidates`` is the sid set the filters produced
     before verification -- its size is what the paper's precision
     metric measures against.
+
+    ``n_candidates`` / ``n_verified`` carry those counts directly
+    (derived automatically when not given, so existing construction
+    sites keep working), and ``trace`` holds the root
+    :class:`~repro.obs.trace.Span` when the query ran with tracing
+    (``explain=True`` or an enclosing ``trace.capture``).
     """
 
     answers: list[tuple[int, float]]
@@ -45,6 +63,15 @@ class QueryResult:
     io: IOStats
     io_time: float
     cpu_time: float
+    n_candidates: int = -1
+    n_verified: int = -1
+    trace: Span | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_candidates < 0:
+            self.n_candidates = len(self.candidates)
+        if self.n_verified < 0:
+            self.n_verified = len(self.answers)
 
     @property
     def total_time(self) -> float:
@@ -120,6 +147,10 @@ class SetSimilarityIndex:
         max_per_filter: int | None = None,
     ) -> "SetSimilarityIndex":
         sets = [frozenset(s) for s in sets]
+        logger.info(
+            "building index: %d sets, budget=%d, recall_target=%.2f, k=%d, b=%d",
+            len(sets), budget, recall_target, k, b,
+        )
         dist = SimilarityDistribution.from_sets(
             sets, n_bins=n_bins, sample_pairs=sample_pairs, seed=seed
         )
@@ -131,6 +162,10 @@ class SetSimilarityIndex:
             max_intervals=max_intervals,
             allocator=allocator,
             max_per_filter=max_per_filter,
+        )
+        logger.info(
+            "planned %d intervals over %d tables (expected recall %.3f)",
+            plan.n_intervals, plan.tables_used, plan.expected_recall,
         )
         return cls.from_plan(sets, plan, dist, k=k, b=b, seed=seed, io=io)
 
@@ -165,6 +200,10 @@ class SetSimilarityIndex:
                 index._sizes[sid] = len(elements)
             for fi in index._all_filters():
                 fi.insert_many(matrix, sids)
+        logger.debug(
+            "materialized %d SFIs + %d DFIs over %d sets",
+            len(index._sfis), len(index._dfis), len(sets),
+        )
         return index
 
     def _materialize_filters(self, expected_entries: int, seed: int) -> None:
@@ -179,6 +218,7 @@ class SetSimilarityIndex:
                 pager=self.pager,
                 expected_entries=expected_entries,
                 seed=seed + 7919 * (offset + 1),
+                sigma_point=planned.point,
             )
             if planned.kind == SFI:
                 self._sfis[planned.point] = SimilarityFilterIndex(threshold, **args)
@@ -201,6 +241,7 @@ class SetSimilarityIndex:
         self._planner = None
         for fi in self._all_filters():
             fi.insert(vector, sid)
+        logger.debug("inserted sid=%d (%d elements)", sid, len(stored))
         return sid
 
     def delete(self, sid: int) -> None:
@@ -213,6 +254,7 @@ class SetSimilarityIndex:
         for fi in self._all_filters():
             fi.delete(vector, sid)
         self.store.delete(sid)
+        logger.debug("deleted sid=%d", sid)
 
     @property
     def n_sets(self) -> int:
@@ -232,6 +274,7 @@ class SetSimilarityIndex:
         sigma_low: float,
         sigma_high: float,
         strategy: str = "index",
+        explain: bool = False,
     ) -> QueryResult:
         """All indexed sets with ``sigma_low <= sim <= sigma_high``.
 
@@ -245,6 +288,12 @@ class SetSimilarityIndex:
         :class:`~repro.core.planner.QueryPlanner` which is predicted
         cheaper for this range -- the per-query version of the paper's
         Section 6 crossover analysis.
+
+        ``explain=True`` forces tracing for this query regardless of
+        the global :func:`repro.obs.trace.set_enabled` switch; the
+        resulting span tree is attached as ``result.trace`` and can be
+        rendered with :func:`repro.obs.explain.render_trace` /
+        :func:`repro.obs.explain.explain_json`.
         """
         if not 0.0 <= sigma_low <= sigma_high <= 1.0:
             raise ValueError(
@@ -254,21 +303,65 @@ class SetSimilarityIndex:
             raise ValueError(f"unknown strategy: {strategy!r}")
         if strategy == "auto":
             strategy = self.planner().choose(sigma_low, sigma_high)
-        before = self.io.snapshot()
-        query_set = frozenset(elements)
-        if strategy == "scan":
-            candidates, answers = self._scan_query(query_set, sigma_low, sigma_high)
-        else:
-            candidates = self._candidates(query_set, sigma_low, sigma_high)
-            answers = self._verify(query_set, candidates, sigma_low, sigma_high)
-        delta = self.io.snapshot() - before
-        return QueryResult(
-            answers=answers,
-            candidates=candidates,
-            io=delta,
-            io_time=self.io.io_time(delta),
-            cpu_time=self.io.cpu_time(delta),
+        with trace.capture(
+            "query",
+            io=self.io,
+            force=explain,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+        ) as root:
+            before = self.io.snapshot()
+            query_set = frozenset(elements)
+            if strategy == "scan":
+                candidates, answers = self._scan_query(
+                    query_set, sigma_low, sigma_high
+                )
+            else:
+                candidates = self._candidates(query_set, sigma_low, sigma_high)
+                answers = self._verify(
+                    query_set, candidates, sigma_low, sigma_high
+                )
+            delta = self.io.snapshot() - before
+            result = QueryResult(
+                answers=answers,
+                candidates=candidates,
+                io=delta,
+                io_time=self.io.io_time(delta),
+                cpu_time=self.io.cpu_time(delta),
+                trace=root,
+            )
+            if root is not None:
+                self._annotate_trace(root, result)
+        _QUERIES.inc()
+        _QUERY_CANDIDATES.inc(result.n_candidates)
+        _QUERY_VERIFIED.inc(result.n_verified)
+        _QUERY_FALSE_POSITIVES.inc(result.n_candidates - result.n_verified)
+        _CANDIDATES_PER_QUERY.observe(result.n_candidates)
+        logger.debug(
+            "query [%.3f, %.3f] strategy=%s: %d answers / %d candidates, "
+            "simulated time %.1f",
+            sigma_low, sigma_high, strategy,
+            result.n_verified, result.n_candidates, result.total_time,
         )
+        return result
+
+    def _annotate_trace(self, root: Span, result: QueryResult) -> None:
+        """Post-query trace enrichment: totals on the root span and
+        per-probe survivor counts (candidates a filter contributed that
+        passed exact verification)."""
+        root.set(
+            n_candidates=result.n_candidates,
+            n_verified=result.n_verified,
+            io_time=result.io_time,
+            cpu_time=result.cpu_time,
+            total_time=result.total_time,
+        )
+        answer_sids = result.answer_sids
+        for span in probe_spans(root):
+            sids = span.attrs.get("_sids")
+            if sids is not None:
+                span.set(survived=len(sids & answer_sids))
 
     def planner(self) -> "QueryPlanner":
         """The cost-based planner for this index.
@@ -296,16 +389,18 @@ class SetSimilarityIndex:
         self, query_set: frozenset, sigma_low: float, sigma_high: float
     ) -> tuple[set[int], list[tuple[int, float]]]:
         """Exact evaluation by sequential scan of the set store."""
-        answers: list[tuple[int, float]] = []
-        candidates: set[int] = set()
-        for sid, stored in self.store.scan():
-            candidates.add(sid)
-            self.io.cpu(len(stored) + len(query_set))
-            similarity = jaccard(stored, query_set)
-            if sigma_low <= similarity <= sigma_high:
-                answers.append((sid, similarity))
-        answers.sort(key=lambda pair: (-pair[1], pair[0]))
-        return candidates, answers
+        with trace.span("scan", n_pages=self.store.n_pages) as sp:
+            answers: list[tuple[int, float]] = []
+            candidates: set[int] = set()
+            for sid, stored in self.store.scan():
+                candidates.add(sid)
+                self.io.cpu(len(stored) + len(query_set))
+                similarity = jaccard(stored, query_set)
+                if sigma_low <= similarity <= sigma_high:
+                    answers.append((sid, similarity))
+            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            sp.set(n_candidates=len(candidates), n_verified=len(answers))
+            return candidates, answers
 
     def query_above(self, elements: Iterable, sigma: float) -> QueryResult:
         """Sets at least ``sigma``-similar to the query."""
@@ -319,41 +414,52 @@ class SetSimilarityIndex:
         self, query_set: frozenset, sigma_low: float, sigma_high: float
     ) -> set[int]:
         lo, up = self._enclosing_points(sigma_low, sigma_high)
-        if lo is None and up is None:
-            return set(self._vectors)
-        if not query_set:
-            # The empty set cannot be embedded (min over nothing); it is
-            # disjoint from every non-empty set, so only a full-range
-            # query can return anything -- handled above.
-            return set()
-        vector = self.embedder.embed(query_set)
-        self.io.cpu(self.embedder.k)
+        with trace.span("candidates", lo=lo, up=up) as sp:
+            if lo is None and up is None:
+                sp.set(plan="full_collection")
+                return set(self._vectors)
+            if not query_set:
+                # The empty set cannot be embedded (min over nothing); it is
+                # disjoint from every non-empty set, so only a full-range
+                # query can return anything -- handled above.
+                sp.set(plan="empty_query")
+                return set()
+            with trace.span("embed", k=self.embedder.k):
+                vector = self.embedder.embed(query_set)
+                self.io.cpu(self.embedder.k)
 
-        def sim(point: float) -> set[int]:
-            return self._sfis[point].probe(vector)
+            def sim(point: float) -> set[int]:
+                return self._sfis[point].probe(vector)
 
-        def dissim(point: float) -> set[int]:
-            return self._dfis[point].probe(vector)
+            def dissim(point: float) -> set[int]:
+                return self._dfis[point].probe(vector)
 
-        if lo is None:
-            if up in self._dfis:
-                return dissim(up)
-            # Inefficient fallback the DFI exists to avoid.
-            return set(self._vectors) - sim(up)
-        if up is None:
-            if lo in self._sfis:
-                return sim(lo)
-            return set(self._vectors) - dissim(lo)
-        if lo in self._sfis and up in self._sfis:
-            return sim(lo) - sim(up)
-        if lo in self._dfis and up in self._dfis:
-            return dissim(up) - dissim(lo)
-        # Mixed case: lo is a pure DFI point, up a pure SFI point; pivot
-        # through the dual-kind point m between them (Section 4.3).
-        pivot = self._pivot_between(lo, up)
-        low_side = dissim(pivot) - dissim(lo)
-        high_side = sim(pivot) - sim(up)
-        return low_side | high_side
+            def done(plan: str, sids: set[int]) -> set[int]:
+                sp.set(plan=plan, n_candidates=len(sids))
+                return sids
+
+            if lo is None:
+                if up in self._dfis:
+                    return done("dfi(up)", dissim(up))
+                # Inefficient fallback the DFI exists to avoid.
+                return done("complement_sfi(up)", set(self._vectors) - sim(up))
+            if up is None:
+                if lo in self._sfis:
+                    return done("sfi(lo)", sim(lo))
+                return done(
+                    "complement_dfi(lo)", set(self._vectors) - dissim(lo)
+                )
+            if lo in self._sfis and up in self._sfis:
+                return done("sfi_difference", sim(lo) - sim(up))
+            if lo in self._dfis and up in self._dfis:
+                return done("dfi_difference", dissim(up) - dissim(lo))
+            # Mixed case: lo is a pure DFI point, up a pure SFI point; pivot
+            # through the dual-kind point m between them (Section 4.3).
+            pivot = self._pivot_between(lo, up)
+            sp.set(pivot=pivot)
+            low_side = dissim(pivot) - dissim(lo)
+            high_side = sim(pivot) - sim(up)
+            return done("pivot_union", low_side | high_side)
 
     def _enclosing_points(
         self, sigma_low: float, sigma_high: float
@@ -371,6 +477,25 @@ class SetSimilarityIndex:
             f"no dual-kind pivot between cut points {lo} and {up}; "
             "the plan is inconsistent"
         )
+
+    def filter_stats(self, detail: bool = False) -> list[dict]:
+        """Occupancy/load statistics for every materialized filter.
+
+        One dict per SFI/DFI: its kind, cut point, turning point and
+        the aggregate (optionally per-table) hash-table statistics from
+        :meth:`~repro.core.filter_index.SimilarityFilterIndex.table_stats`.
+        Surfaced by ``repro stats``.
+        """
+        stats = []
+        for kind, filters in (("sfi", self._sfis), ("dfi", self._dfis)):
+            for point, fi in sorted(filters.items()):
+                stats.append({
+                    "kind": kind,
+                    "point": point,
+                    "s_star": fi.threshold,
+                    **fi.table_stats(detail=detail),
+                })
+        return stats
 
     def __repr__(self) -> str:
         return (
@@ -409,12 +534,17 @@ class SetSimilarityIndex:
         sigma_high: float,
     ) -> list[tuple[int, float]]:
         """Fetch candidates from disk and keep exact in-range matches."""
-        answers: list[tuple[int, float]] = []
-        for sid in candidates:
-            stored = self.store.get(sid)
-            self.io.cpu(len(stored) + len(query_set))
-            similarity = jaccard(stored, query_set)
-            if sigma_low <= similarity <= sigma_high:
-                answers.append((sid, similarity))
-        answers.sort(key=lambda pair: (-pair[1], pair[0]))
-        return answers
+        with trace.span("verify", n_candidates=len(candidates)) as sp:
+            answers: list[tuple[int, float]] = []
+            for sid in candidates:
+                stored = self.store.get(sid)
+                self.io.cpu(len(stored) + len(query_set))
+                similarity = jaccard(stored, query_set)
+                if sigma_low <= similarity <= sigma_high:
+                    answers.append((sid, similarity))
+            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            sp.set(
+                n_verified=len(answers),
+                false_positives=len(candidates) - len(answers),
+            )
+            return answers

@@ -19,6 +19,7 @@ consults it transparently.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,8 @@ import numpy as np
 from repro.core.optimizer import CaptureModel, IndexPlan
 from repro.core.distribution import SimilarityDistribution
 from repro.storage.iomodel import IOCostModel
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -147,4 +150,11 @@ class QueryPlanner:
 
     def choose(self, sigma_low: float, sigma_high: float) -> str:
         """``"index"`` or ``"scan"`` -- whichever is predicted cheaper."""
-        return "index" if self.estimate(sigma_low, sigma_high).use_index else "scan"
+        estimate = self.estimate(sigma_low, sigma_high)
+        strategy = "index" if estimate.use_index else "scan"
+        logger.debug(
+            "auto-plan [%.3f, %.3f]: index=%.1f scan=%.1f -> %s",
+            sigma_low, sigma_high,
+            estimate.index_cost, estimate.scan_cost, strategy,
+        )
+        return strategy

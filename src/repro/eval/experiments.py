@@ -152,6 +152,8 @@ class Fig7Result:
     dataset: str
     budget: int
     summaries: list[BucketSummary]
+    #: Per-query trace summaries (only with ``collect_trace=True``).
+    trace_summaries: list[dict] | None = None
 
     def table(self) -> str:
         rows = [
@@ -186,6 +188,7 @@ def run_fig7(
     dataset: str = "set1",
     config: ExperimentConfig | None = None,
     budget: int = 1000,
+    collect_trace: bool = False,
 ) -> Fig7Result:
     """Fig. 7: average response time per bucket, Scan vs Index.
 
@@ -193,13 +196,26 @@ def run_fig7(
     size below ~25% of the collection; index time grows with result
     size (more candidates -> more random fetches) while scan time is
     flat.
+
+    ``collect_trace=True`` additionally traces every index query and
+    returns the per-query filter summaries (``trace_summaries``) for
+    JSON artifacts.
     """
     config = (config or ExperimentConfig()).scaled(budget=budget)
     harness = build_harness(dataset, config)
     workload = QueryWorkload(len(harness.sets), seed=config.seed + 29)
-    records = harness.run(workload.sample(config.n_queries), measure_scan=True)
+    records = harness.run(
+        workload.sample(config.n_queries),
+        measure_scan=True,
+        collect_trace=collect_trace,
+    )
     return Fig7Result(
-        dataset=dataset, budget=config.budget, summaries=harness.bucket_summaries(records)
+        dataset=dataset,
+        budget=config.budget,
+        summaries=harness.bucket_summaries(records),
+        trace_summaries=(
+            [r.trace_summary for r in records] if collect_trace else None
+        ),
     )
 
 

@@ -24,11 +24,19 @@ from repro.baselines.sequential_scan import SequentialScan
 from repro.core.index import SetSimilarityIndex
 from repro.core.metrics import evaluate_query
 from repro.data.queries import PAPER_BUCKETS, RangeQuery, bucket_index, bucket_label
+from repro.obs.explain import filter_summaries
 
 
 @dataclass
 class QueryRecord:
-    """Everything measured for one query."""
+    """Everything measured for one query.
+
+    ``trace_summary`` is populated when the harness runs with
+    ``collect_trace=True``: the per-filter probe statistics of this
+    query's trace (see :func:`repro.obs.explain.filter_summaries`)
+    plus the I/O breakdown, JSON-safe so benchmark drivers can attach
+    it to their output files.
+    """
 
     query: RangeQuery
     n_truth: int
@@ -40,6 +48,7 @@ class QueryRecord:
     index_cpu_time: float
     scan_io_time: float
     scan_cpu_time: float
+    trace_summary: dict | None = None
 
     @property
     def index_time(self) -> float:
@@ -81,10 +90,21 @@ class ExperimentHarness:
         self.scan = SequentialScan(index.store)
         self.oracle = InvertedIndex(self.sets)
 
-    def run_query(self, query: RangeQuery, measure_scan: bool = True) -> QueryRecord:
-        """Execute one query on the index (and optionally the scan)."""
+    def run_query(
+        self,
+        query: RangeQuery,
+        measure_scan: bool = True,
+        collect_trace: bool = False,
+    ) -> QueryRecord:
+        """Execute one query on the index (and optionally the scan).
+
+        ``collect_trace=True`` traces the index query and attaches a
+        JSON-safe per-filter summary as ``record.trace_summary``.
+        """
         query_set = self.sets[query.set_index]
-        result = self.index.query(query_set, query.sigma_low, query.sigma_high)
+        result = self.index.query(
+            query_set, query.sigma_low, query.sigma_high, explain=collect_trace
+        )
         truth = {
             sid for sid, _ in self.oracle.query(query_set, query.sigma_low, query.sigma_high)
         }
@@ -94,23 +114,37 @@ class ExperimentHarness:
             scan_io, scan_cpu = scan_result.io_time, scan_result.cpu_time
         else:
             scan_io = scan_cpu = 0.0
+        trace_summary = None
+        if collect_trace and result.trace is not None:
+            trace_summary = {
+                "filters": filter_summaries(result.trace),
+                "io": result.io.as_dict(),
+                "duration_ms": round(result.trace.duration_ms, 3),
+            }
         return QueryRecord(
             query=query,
             n_truth=len(truth),
-            n_candidates=quality.n_candidates,
-            n_answers=quality.n_answers,
+            n_candidates=result.n_candidates,
+            n_answers=result.n_verified,
             recall=quality.recall,
             precision=quality.precision,
             index_io_time=result.io_time,
             index_cpu_time=result.cpu_time,
             scan_io_time=scan_io,
             scan_cpu_time=scan_cpu,
+            trace_summary=trace_summary,
         )
 
     def run(
-        self, queries: Sequence[RangeQuery], measure_scan: bool = True
+        self,
+        queries: Sequence[RangeQuery],
+        measure_scan: bool = True,
+        collect_trace: bool = False,
     ) -> list[QueryRecord]:
-        return [self.run_query(q, measure_scan) for q in queries]
+        return [
+            self.run_query(q, measure_scan, collect_trace=collect_trace)
+            for q in queries
+        ]
 
     def bucket_summaries(
         self,

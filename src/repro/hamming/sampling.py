@@ -16,6 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import metrics
+
+#: Keys extracted by the bulk (build-time) path.  Probe-time key
+#: extraction is one key per table probe, so it is already counted by
+#: ``hashtable.probes`` and not re-counted in the hot ``key()`` path.
+_KEYS = metrics.counter("hamming.keys_extracted")
+
 
 class BitSampler:
     """Extracts ``r`` fixed random bit positions from packed vectors.
@@ -52,6 +59,7 @@ class BitSampler:
 
     def keys(self, matrix: np.ndarray) -> list[bytes]:
         """Hash keys for every row of a packed matrix (vectorized)."""
+        _KEYS.value += matrix.shape[0]
         bits = (matrix[:, self._word_index] >> self._bit_offset) & np.uint64(1)
         packed = np.packbits(bits.astype(np.uint8), axis=1)
         return [row.tobytes() for row in packed]

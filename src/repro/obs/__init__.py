@@ -1,0 +1,37 @@
+"""Observability for the query pipeline: tracing, metrics, EXPLAIN.
+
+The paper's contribution is a *tunable* trade-off, which makes the
+system only as good as its visibility: without per-probe statistics
+there is no way to tell which filter index contributed candidates,
+how many buckets a probe touched, or where a query's simulated time
+went.  This package is the measurement substrate the rest of the
+system (and every future tuning experiment) builds on:
+
+:mod:`repro.obs.trace`
+    Nestable wall-clock + I/O-delta spans with a thread-local active
+    trace and a no-op fast path when tracing is off.
+:mod:`repro.obs.metrics`
+    A process-wide registry of named counters, gauges and histograms
+    (buckets probed, candidates per filter, verification hits, ...).
+:mod:`repro.obs.explain`
+    Renders a completed query trace as a human-readable plan tree and
+    as structured JSON (``repro query --explain`` / ``repro explain``).
+:mod:`repro.obs.logs`
+    ``logging`` wiring for the ``repro`` logger hierarchy
+    (``configure_logging``; the CLI's ``-v/--verbose``).
+
+Everything here is stdlib-only and adds near-zero overhead when
+disabled, so instrumentation can stay in the hot paths permanently.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.explain import explain_json, render_trace
+from repro.obs.logs import configure_logging
+
+__all__ = [
+    "configure_logging",
+    "explain_json",
+    "metrics",
+    "render_trace",
+    "trace",
+]

@@ -1,0 +1,167 @@
+"""EXPLAIN: render a completed query trace as a plan tree and JSON.
+
+A query executed with tracing (``index.query(..., explain=True)`` or a
+``trace.capture`` around it) produces a :class:`~repro.obs.trace.Span`
+tree.  This module turns that tree into the two artifacts the CLI and
+the harness expose:
+
+- :func:`render_trace`: a human-readable plan tree, one line per
+  pipeline stage, showing per probed filter index its cut point, the
+  turning point ``s*``, ``(r, l)``, tables probed, buckets read,
+  candidates contributed and candidates surviving verification.
+- :func:`explain_json`: the same data as structured JSON -- a
+  ``filters`` summary list for programmatic consumption plus the full
+  span tree for drill-down.
+
+The span attributes consumed here are produced by the instrumentation
+in :mod:`repro.core.index` and :mod:`repro.core.filter_index`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.trace import Span, _jsonable
+
+#: Span names identifying one filter-index probe (SFI or DFI).
+PROBE_SPANS = ("sfi_probe", "dfi_probe")
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (set, frozenset)):
+        return str(len(value))
+    return str(value)
+
+
+def _fmt_io(span: Span) -> str:
+    io = span.io_delta
+    if io is None:
+        return ""
+    parts = []
+    if io.random_reads:
+        parts.append(f"{io.random_reads}r")
+    if io.sequential_reads:
+        parts.append(f"{io.sequential_reads}s")
+    if io.page_writes:
+        parts.append(f"{io.page_writes}w")
+    if io.cpu_ops:
+        parts.append(f"{io.cpu_ops}cpu")
+    return f"io[{'+'.join(parts)}]" if parts else ""
+
+
+def buckets_read(span: Span) -> int | None:
+    """Bucket pages a probe span touched (random heads + overflows)."""
+    if span.io_delta is None:
+        return None
+    return span.io_delta.random_reads + span.io_delta.sequential_reads
+
+
+def _describe(span: Span) -> str:
+    """One plan-tree line for a span (sans tree decoration)."""
+    attrs = span.attrs
+    if span.name in PROBE_SPANS:
+        kind = "SFI" if span.name == "sfi_probe" else "DFI"
+        parts = [f"probe {kind}"]
+        if attrs.get("sigma") is not None:
+            parts[0] += f"(σ={attrs['sigma']:.3f})"
+        if attrs.get("s_star") is not None:
+            parts.append(f"s*={attrs['s_star']:.3f}")
+        if attrs.get("r") is not None and attrs.get("l") is not None:
+            parts.append(f"(r={attrs['r']}, l={attrs['l']})")
+        parts.append(f"tables={attrs.get('tables_probed', attrs.get('l', '?'))}")
+        nb = buckets_read(span)
+        if nb is not None:
+            parts.append(f"buckets={nb}")
+        if attrs.get("candidates") is not None:
+            parts.append(f"candidates={attrs['candidates']}")
+        if attrs.get("survived") is not None:
+            parts.append(f"survived={attrs['survived']}")
+        line = "  ".join(parts)
+    else:
+        pairs = "  ".join(
+            f"{k}={_fmt_value(v)}" for k, v in attrs.items()
+            if not k.startswith("_")
+        )
+        line = span.name if not pairs else f"{span.name}  {pairs}"
+    io = _fmt_io(span)
+    if io:
+        line += f"  {io}"
+    if span.duration:
+        line += f"  [{span.duration_ms:.2f}ms]"
+    return line
+
+
+def render_trace(trace: Span) -> str:
+    """Render a span tree as an indented plan tree (one line per span)."""
+    lines = [_describe(trace)]
+
+    def walk(span: Span, prefix: str) -> None:
+        for i, child in enumerate(span.children):
+            last = i == len(span.children) - 1
+            lines.append(prefix + ("└─ " if last else "├─ ")
+                         + _describe(child))
+            walk(child, prefix + ("   " if last else "│  "))
+
+    walk(trace, "")
+    return "\n".join(lines)
+
+
+def probe_spans(trace: Span) -> list[Span]:
+    """Top-level probe spans (a DFI wraps an inner SFI probe; keep the
+    outer one, which carries the user-facing cut point)."""
+    found: list[Span] = []
+
+    def visit(span: Span) -> None:
+        if span.name in PROBE_SPANS:
+            found.append(span)
+            return
+        for child in span.children:
+            visit(child)
+
+    for child in trace.children:
+        visit(child)
+    if not found and trace.name in PROBE_SPANS:
+        found.append(trace)
+    return found
+
+
+def filter_summaries(trace: Span) -> list[dict[str, Any]]:
+    """Per-probed-filter statistics extracted from a query trace."""
+    summaries = []
+    for span in probe_spans(trace):
+        attrs = span.attrs
+        summaries.append({
+            "kind": "SFI" if span.name == "sfi_probe" else "DFI",
+            "sigma": attrs.get("sigma"),
+            "s_star": attrs.get("s_star"),
+            "r": attrs.get("r"),
+            "l": attrs.get("l"),
+            "tables_probed": attrs.get("tables_probed", attrs.get("l")),
+            "buckets_read": buckets_read(span),
+            "candidates": attrs.get("candidates"),
+            "survived": attrs.get("survived"),
+            "duration_ms": round(span.duration_ms, 3),
+        })
+    return summaries
+
+
+def explain_json(trace: Span) -> dict[str, Any]:
+    """Structured EXPLAIN output for one traced query.
+
+    Keys: ``query`` (the root span's attributes -- range, strategy,
+    totals), ``filters`` (per-probe summaries, see
+    :func:`filter_summaries`), ``io`` (the root I/O delta) and
+    ``trace`` (the full span tree).
+    """
+    return {
+        "query": {
+            k: _jsonable(v) for k, v in trace.attrs.items()
+            if not k.startswith("_")
+        },
+        "filters": filter_summaries(trace),
+        "io": trace.io_delta.as_dict() if trace.io_delta is not None else None,
+        "duration_ms": round(trace.duration_ms, 3),
+        "trace": trace.to_dict(),
+    }

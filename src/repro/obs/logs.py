@@ -1,0 +1,70 @@
+"""Logging wiring for the ``repro`` logger hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<module>")``; by
+stdlib convention the library itself never configures handlers, so a
+silent import stays silent.  :func:`configure_logging` is the opt-in:
+the CLI maps ``-v`` counts to it, and embedding applications may call
+it (or attach their own handlers to the ``repro`` logger) instead.
+
+Verbosity levels:
+
+====  =========  ==========================================
+``v`` level      what you see
+====  =========  ==========================================
+0     WARNING    problems only (default)
+1     INFO       build/query milestones, one line each
+2+    DEBUG      per-operation detail (inserts, probes, ...)
+====  =========  ==========================================
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``name`` may already be
+    fully qualified, e.g. ``__name__`` inside the package)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(
+    verbosity: int = 0, stream: IO[str] | None = None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger at a verbosity.
+
+    Idempotent: repeated calls reconfigure the one handler this module
+    owns (recognized by a tag attribute) instead of stacking
+    duplicates, so tests and long-lived processes can re-invoke it
+    freely.  Returns the configured root ``repro`` logger.
+    """
+    level = _LEVELS.get(max(0, int(verbosity)), logging.DEBUG)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_TAG, True)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    elif stream is not None and stream is not handler.stream:
+        try:
+            handler.flush()
+        except ValueError:
+            pass  # the previous stream was closed (e.g. a test capture)
+        handler.stream = stream
+    handler.setLevel(level)
+    return logger

@@ -1,0 +1,218 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Storage and filter components report per-probe statistics here --
+buckets probed, collisions per table, candidates per filter,
+verification hits, bucket-occupancy distributions -- so that tuning
+experiments (and ``repro stats``) can see aggregate behavior without
+tracing individual queries.
+
+The design mirrors the usual in-process metrics libraries but stays
+stdlib-only and allocation-free on the hot path: instrumented modules
+look their instruments up **once** at import time and then mutate a
+plain attribute per event::
+
+    _PROBES = metrics.counter("hashtable.probes")
+    ...
+    _PROBES.inc()
+
+:func:`MetricsRegistry.reset` therefore zeroes instruments *in place*
+rather than discarding them, so cached references stay live.
+
+All instruments are registered in a module-level default registry
+(:data:`registry`); tests that need isolation can construct their own
+:class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Sequence
+
+#: Default histogram bucket upper bounds (counts-per-event scale).
+DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (load factor, entries per table, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values in fixed buckets.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last bound.  Besides bucket counts the
+    histogram tracks count/sum/min/max, so mean occupancy and tail
+    behavior are both recoverable.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                (f"<={bound}" if i < len(self.bounds) else
+                 f">{self.bounds[-1]}"): n
+                for i, (bound, n) in enumerate(
+                    zip(self.bounds + (self.bounds[-1],), self.counts)
+                )
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.2f})"
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Creation is lock-protected (instrument lookups may race across
+    threads at import time); the per-event mutations on the returned
+    instruments are plain attribute updates.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """All current values, JSON-safe, grouped by instrument kind."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.to_dict() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument in place (cached references stay valid)."""
+        with self._lock:
+            for group in (self._counters, self._gauges, self._histograms):
+                for instrument in group.values():
+                    instrument._reset()
+
+
+#: The default process-wide registry used by the instrumented modules.
+registry = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create a counter in the default registry."""
+    return registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get-or-create a gauge in the default registry."""
+    return registry.gauge(name)
+
+
+def histogram(name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+    """Get-or-create a histogram in the default registry."""
+    return registry.histogram(name, bounds)
+
+
+def snapshot() -> dict[str, Any]:
+    """Snapshot of the default registry."""
+    return registry.snapshot()
+
+
+def reset() -> None:
+    """Reset the default registry."""
+    registry.reset()

@@ -1,0 +1,299 @@
+"""Nestable tracing spans with I/O-delta accounting.
+
+A *trace* is a tree of :class:`Span` objects recording, per pipeline
+stage, wall-clock duration, the :class:`~repro.storage.iomodel.IOStats`
+delta observed while the span was open, and arbitrary key/value
+attributes (``s_star``, tables probed, candidates contributed, ...).
+
+Usage at an instrumentation site::
+
+    with trace.span("sfi_probe", s_star=0.8, l=32) as sp:
+        sids = ...
+        sp.set(candidates=len(sids))
+
+and at a trace boundary (one query)::
+
+    with trace.capture("query", io=index.io) as root:
+        ...
+    if root is not None:
+        print(render_trace(root))
+
+Design constraints, in order:
+
+1. **Free when off.**  ``span()`` is called on every probe of every
+   query; with no active capture it returns a shared immutable no-op
+   span after one thread-local attribute lookup.  Instrumentation can
+   therefore live in hot paths unconditionally.
+2. **Thread-local.**  The active trace is per-thread state, so
+   concurrent queries on different threads trace independently.
+3. **Zero dependencies.**  Pure stdlib; the only repro import is the
+   ``IOStats`` type for snapshots.
+
+Captures nest: a ``capture()`` inside an active trace does not start a
+new trace but opens a child span in the enclosing one and yields it,
+so a traced harness wrapping ``index.query`` (which captures its own
+root) produces one coherent tree.
+
+Attribute keys starting with ``_`` are in-process annotations (e.g.
+the raw candidate sid set a later stage intersects against) and are
+excluded from :meth:`Span.to_dict` serialization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+from repro.storage.iomodel import IOCostModel, IOStats
+
+_state = threading.local()
+_enabled = False
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable tracing (``capture`` honors this)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def is_enabled() -> bool:
+    """Whether tracing is globally enabled."""
+    return _enabled
+
+
+def is_active() -> bool:
+    """Whether the calling thread currently has an open trace."""
+    return getattr(_state, "ctx", None) is not None
+
+
+class _TraceContext:
+    """Per-thread open-trace state: the span stack and the I/O model."""
+
+    __slots__ = ("io", "stack")
+
+    def __init__(self, io: IOCostModel | None):
+        self.io = io
+        self.stack: list[Span] = []
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of an attribute value to JSON-safe form."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, IOStats):
+        return value.as_dict()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalars, without importing numpy
+        return value.item()
+    return repr(value)
+
+
+class Span:
+    """One timed, attributed node of a trace tree.
+
+    Spans are context managers; entering pushes onto the thread's span
+    stack (attaching to the current parent), exiting records duration
+    and the I/O counter delta observed in between.
+    """
+
+    __slots__ = ("name", "attrs", "children", "duration", "io_delta",
+                 "_ctx", "_t0", "_io_before")
+
+    #: Real spans record; the shared no-op span reports False, letting
+    #: call sites skip expensive attribute collection entirely.
+    recording = True
+
+    def __init__(self, name: str, ctx: _TraceContext, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.duration = 0.0
+        self.io_delta: IOStats | None = None
+        self._ctx = ctx
+        self._t0 = 0.0
+        self._io_before: IOStats | None = None
+
+    def __enter__(self) -> "Span":
+        ctx = self._ctx
+        if ctx.stack:
+            ctx.stack[-1].children.append(self)
+        ctx.stack.append(self)
+        if ctx.io is not None:
+            self._io_before = ctx.io.snapshot()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._t0
+        ctx = self._ctx
+        if self._io_before is not None:
+            self.io_delta = ctx.io.snapshot() - self._io_before
+        if ctx.stack and ctx.stack[-1] is self:
+            ctx.stack.pop()
+        return False
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after the fact; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Iterator["Span"]:
+        """Yield every span named ``name`` in this subtree."""
+        for span in self.walk():
+            if span.name == name:
+                yield span
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration * 1e3
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (``_``-prefixed attrs omitted)."""
+        d: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        attrs = {
+            k: _jsonable(v) for k, v in self.attrs.items()
+            if not k.startswith("_")
+        }
+        if attrs:
+            d["attrs"] = attrs
+        if self.io_delta is not None:
+            d["io"] = self.io_delta.as_dict()
+        if self.children:
+            d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, attrs={self.attrs}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Shared inert span: every operation is a no-op.
+
+    Returned by :func:`span` when no trace is active so instrumented
+    code pays only the disabled-path check.
+    """
+
+    __slots__ = ()
+    recording = False
+    name = ""
+    attrs: dict[str, Any] = {}
+    children: list = []
+    duration = 0.0
+    duration_ms = 0.0
+    io_delta = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str):
+        return iter(())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: The singleton no-op span (also useful as an identity check in tests).
+NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """Open a child span of the current trace, or a no-op if none.
+
+    The fast path -- no active capture on this thread -- is a single
+    ``getattr`` plus a ``None`` check.
+    """
+    ctx = getattr(_state, "ctx", None)
+    if ctx is None:
+        return NULL_SPAN
+    return Span(name, ctx, attrs)
+
+
+def current() -> Span | None:
+    """The innermost open span of this thread's trace, if any."""
+    ctx = getattr(_state, "ctx", None)
+    if ctx is None or not ctx.stack:
+        return None
+    return ctx.stack[-1]
+
+
+class _Capture:
+    """Context manager that opens (or joins) a trace for its duration."""
+
+    __slots__ = ("name", "attrs", "io", "force", "span", "_installed")
+
+    def __init__(self, name: str, io: IOCostModel | None, force: bool,
+                 attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.io = io
+        self.force = force
+        self.span: Span | None = None
+        self._installed = False
+
+    def __enter__(self) -> Span | None:
+        ctx = getattr(_state, "ctx", None)
+        if ctx is None:
+            if not (_enabled or self.force):
+                return None
+            ctx = _TraceContext(self.io)
+            _state.ctx = ctx
+            self._installed = True
+        elif ctx.io is None and self.io is not None:
+            ctx.io = self.io
+        self.span = Span(self.name, ctx, self.attrs)
+        self.span.__enter__()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.span is not None:
+            self.span.__exit__(exc_type, exc, tb)
+            self.span = None
+        if self._installed:
+            del _state.ctx
+            self._installed = False
+        return False
+
+
+def capture(name: str = "trace", io: IOCostModel | None = None,
+            force: bool = False, **attrs: Any) -> _Capture:
+    """Start a trace rooted at ``name`` (if enabled) and yield its root.
+
+    Yields ``None`` when tracing is globally disabled and ``force`` is
+    not set.  Inside an already-active trace this opens a child span
+    instead of a new root, so nested captures compose into one tree.
+
+    ``io`` attaches an :class:`IOCostModel` whose counters every span
+    of the trace snapshots on entry/exit; the first capture to provide
+    one wins for the whole trace.
+    """
+    return _Capture(name, io, force, attrs)

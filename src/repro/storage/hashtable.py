@@ -21,10 +21,18 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.obs import metrics
 from repro.storage.pager import PageManager
 
 #: Bytes per (fingerprint, sid) entry; determines slots per page.
 ENTRY_BYTES = 16
+
+# Hot-path instruments, resolved once at import (see repro.obs.metrics).
+# Candidate counts are deliberately NOT tracked here: the filter index
+# already accounts them (sfi.candidates + sfi.duplicate_candidates is
+# the sum of per-table bucket sizes), and probe() is the innermost loop.
+_PROBES = metrics.counter("hashtable.probes")
+_PROBE_PAGES = metrics.counter("hashtable.probe_pages")
 
 
 def hash_key(key: bytes) -> int:
@@ -92,9 +100,15 @@ class BucketHashTable:
         """
         bucket, fingerprint = self._bucket_of(key)
         sids: list[int] = []
-        for rank, page_id in enumerate(self._chains[bucket]):
+        chain = self._chains[bucket]
+        for rank, page_id in enumerate(chain):
             page = self.pager.read(page_id, sequential=rank > 0)
             sids.extend(sid for fp, sid in page.slots if fp == fingerprint)
+        # Direct attribute adds, not .inc(): this runs once per table
+        # per filter probe, and the method-call overhead is measurable
+        # at query granularity.
+        _PROBES.value += 1
+        _PROBE_PAGES.value += len(chain)
         return sids
 
     def delete(self, key: bytes, sid: int) -> bool:
@@ -121,6 +135,37 @@ class BucketHashTable:
             self._n_entries -= 1
             return True
         return False
+
+    def bucket_occupancies(self) -> list[int]:
+        """Entries stored per bucket (uncharged; statistics only)."""
+        return [
+            sum(len(self.pager.peek(page_id)) for page_id in chain)
+            for chain in self._chains
+        ]
+
+    def load_stats(self) -> dict:
+        """Occupancy and load-factor statistics for this table.
+
+        Uses uncharged page peeks so reporting does not perturb the
+        I/O accounting.  ``load_factor`` is entries over provisioned
+        slots (buckets x slots per page); under the paper's
+        "no bucket overflows" provisioning it stays below 1 and
+        ``max_chain_pages`` stays at 1.
+        """
+        occupancies = self.bucket_occupancies()
+        return {
+            "n_buckets": self.n_buckets,
+            "n_entries": self._n_entries,
+            "n_pages": self.n_pages,
+            "slots_per_page": self.slots_per_page,
+            "load_factor": self._n_entries / (self.n_buckets * self.slots_per_page),
+            "avg_occupancy": self._n_entries / self.n_buckets,
+            "max_occupancy": max(occupancies, default=0),
+            "nonempty_buckets": sum(1 for n in occupancies if n),
+            "max_chain_pages": max(
+                (len(chain) for chain in self._chains), default=0
+            ),
+        }
 
     def items(self):
         """Iterate over all (fingerprint, sid) entries (testing aid)."""

@@ -43,6 +43,20 @@ class IOStats:
             self.cpu_ops - other.cpu_ops,
         )
 
+    @property
+    def total_reads(self) -> int:
+        """All page reads, sequential and random."""
+        return self.sequential_reads + self.random_reads
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (for traces, EXPLAIN JSON, bench output)."""
+        return {
+            "sequential_reads": self.sequential_reads,
+            "random_reads": self.random_reads,
+            "page_writes": self.page_writes,
+            "cpu_ops": self.cpu_ops,
+        }
+
 
 @dataclass
 class IOCostModel:

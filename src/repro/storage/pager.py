@@ -130,6 +130,15 @@ class PageManager:
             self.io.read_random()
         return page
 
+    def peek(self, page_id: int) -> Page:
+        """Fetch a page *without* charging I/O (statistics/introspection
+        only -- e.g. bucket-occupancy reports must not perturb the cost
+        accounting of the queries they describe)."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise KeyError(f"no such page: {page_id}")
+        return page
+
     def write(self, page_id: int) -> None:
         """Charge one page write (the page object is mutated in place)."""
         if page_id not in self._pages:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines.banding_lsh import BandingIndex
 from repro.core.minhash import MinHasher
-from repro.core.similarity import jaccard
 from repro.data.generators import planted_clusters
 from repro.storage.iomodel import IOCostModel
 from repro.storage.pager import PageManager

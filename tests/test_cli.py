@@ -83,3 +83,106 @@ class TestEndToEnd:
         rc = main(["demo", "--n-sets", "60"])
         assert rc == 0
         assert "demo index" in capsys.readouterr().out
+
+
+@pytest.fixture
+def built_index_path(sets_file, tmp_path):
+    index_path = tmp_path / "demo.ssi"
+    rc = main(
+        [
+            "build",
+            "--input", str(sets_file),
+            "--output", str(index_path),
+            "--budget", "20",
+            "--k", "16",
+        ]
+    )
+    assert rc == 0
+    return index_path
+
+
+class TestObservabilityCommands:
+    def test_query_explain_appends_plan_tree(self, built_index_path, capsys):
+        capsys.readouterr()
+        rc = main(
+            [
+                "query",
+                "--index", str(built_index_path),
+                "--set", "apple banana cherry",
+                "--low", "0.5",
+                "--explain",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0\t1.0000" in out  # answers still printed
+        assert out.splitlines()[-1:] != []
+        assert "query" in out and "candidates" in out
+        assert "probe SFI" in out or "probe DFI" in out
+        assert "s*=" in out and "buckets=" in out and "survived=" in out
+
+    def test_explain_subcommand_tree(self, built_index_path, capsys):
+        capsys.readouterr()
+        rc = main(
+            [
+                "explain",
+                "--index", str(built_index_path),
+                "--set", "apple banana cherry",
+                "--low", "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query")
+        assert "\t" not in out.splitlines()[0]  # no answer lines
+        assert "verify" in out
+
+    def test_explain_subcommand_json(self, built_index_path, capsys):
+        import json
+
+        capsys.readouterr()
+        rc = main(
+            [
+                "explain",
+                "--index", str(built_index_path),
+                "--set", "apple banana cherry",
+                "--low", "0.5",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"query", "filters", "io", "duration_ms", "trace"}
+        for f in payload["filters"]:
+            assert f["kind"] in ("SFI", "DFI")
+            assert f["survived"] <= f["candidates"]
+
+    def test_stats_reports_occupancy(self, built_index_path, capsys):
+        capsys.readouterr()
+        rc = main(["stats", "--index", str(built_index_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-filter occupancy:" in out
+        assert "load factor" in out
+        assert "longest chain" in out
+
+    def test_verbose_flag_logs_to_stderr(self, sets_file, tmp_path, capsys):
+        import logging
+
+        rc = main(
+            [
+                "-v",
+                "build",
+                "--input", str(sets_file),
+                "--output", str(tmp_path / "v.ssi"),
+                "--budget", "20",
+                "--k", "16",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "building index" in err
+        # Restore the default level for other tests.
+        from repro.obs import configure_logging
+
+        assert configure_logging(0).level == logging.WARNING

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.index import SetSimilarityIndex
 from repro.core.similarity import jaccard
-from repro.data.generators import planted_clusters
 
 
 @pytest.fixture(scope="module")

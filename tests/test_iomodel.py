@@ -19,6 +19,23 @@ class TestIOStats:
     def test_default_zero(self):
         assert IOStats() == IOStats(0, 0, 0, 0)
 
+    def test_total_reads(self):
+        assert IOStats(sequential_reads=3, random_reads=4).total_reads == 7
+        assert IOStats().total_reads == 0
+
+    def test_as_dict(self):
+        stats = IOStats(1, 2, 3, 4)
+        assert stats.as_dict() == {
+            "sequential_reads": 1,
+            "random_reads": 2,
+            "page_writes": 3,
+            "cpu_ops": 4,
+        }
+
+    def test_as_dict_round_trip(self):
+        stats = IOStats(5, 6, 7, 8)
+        assert IOStats(**stats.as_dict()) == stats
+
 
 class TestIOCostModel:
     def test_counters_accumulate(self):

@@ -1,6 +1,5 @@
 """Tests for the set-mining layer (join, top-k, clustering)."""
 
-import numpy as np
 import pytest
 
 from repro.core.index import SetSimilarityIndex

@@ -1,0 +1,282 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import io as io_module
+import json
+import logging
+
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.obs import configure_logging, explain_json, metrics, render_trace, trace
+from repro.obs.explain import filter_summaries, probe_spans
+from repro.obs.logs import ROOT_LOGGER
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.storage.iomodel import IOCostModel, IOStats
+
+
+@pytest.fixture(scope="module")
+def traced_query(clustered_sets):
+    """One real query executed with tracing; returns (index, result)."""
+    index = SetSimilarityIndex.build(
+        clustered_sets, budget=60, recall_target=0.8, k=32, b=4, seed=11
+    )
+    result = index.query(clustered_sets[0], 0.5, 1.0, explain=True)
+    return index, result
+
+
+class TestSpan:
+    def test_disabled_path_is_null_span(self):
+        assert trace.span("anything", key="value") is trace.NULL_SPAN
+        assert not trace.is_active()
+
+    def test_null_span_is_inert(self):
+        sp = trace.NULL_SPAN
+        with sp as entered:
+            assert entered is sp
+        assert sp.set(a=1) is sp
+        assert not sp.recording
+        assert list(sp.walk()) == []
+        assert sp.to_dict() == {}
+
+    def test_capture_disabled_yields_none(self):
+        assert not trace.is_enabled()
+        with trace.capture("query") as root:
+            assert root is None
+        assert not trace.is_active()
+
+    def test_capture_forced_yields_root(self):
+        with trace.capture("query", force=True) as root:
+            assert root is not None
+            assert root.recording
+            assert trace.is_active()
+            assert trace.current() is root
+        assert not trace.is_active()
+
+    def test_set_enabled_global_switch(self):
+        trace.set_enabled(True)
+        try:
+            with trace.capture("query") as root:
+                assert root is not None
+        finally:
+            trace.set_enabled(False)
+        with trace.capture("query") as root:
+            assert root is None
+
+    def test_spans_nest(self):
+        with trace.capture("root", force=True) as root:
+            with trace.span("outer", depth=1) as outer:
+                with trace.span("inner", depth=2) as inner:
+                    pass
+        assert root.children == [outer]
+        assert outer.children == [inner]
+        assert [s.name for s in root.walk()] == ["root", "outer", "inner"]
+        assert list(root.find("inner")) == [inner]
+
+    def test_nested_captures_join_one_tree(self):
+        with trace.capture("harness", force=True) as harness:
+            with trace.capture("query", force=True) as inner:
+                assert inner is not harness
+        assert inner in harness.children
+        assert not trace.is_active()
+
+    def test_io_delta_snapshots(self):
+        io = IOCostModel()
+        io.read_random(1)  # pre-capture traffic must not be charged
+        with trace.capture("root", io=io, force=True) as root:
+            with trace.span("probe") as sp:
+                io.read_random(2)
+                io.read_sequential(3)
+            io.write(1)
+        assert sp.io_delta == IOStats(3, 2, 0, 0)
+        assert root.io_delta == IOStats(3, 2, 1, 0)
+
+    def test_durations_recorded(self):
+        with trace.capture("root", force=True) as root:
+            with trace.span("child"):
+                pass
+        assert root.duration > 0
+        assert root.duration_ms == root.duration * 1e3
+
+    def test_to_dict_excludes_private_attrs(self):
+        with trace.capture("root", force=True) as root:
+            with trace.span("probe", candidates=3, _sids={1, 2, 3}):
+                pass
+        d = root.to_dict()
+        probe = d["children"][0]
+        assert probe["attrs"] == {"candidates": 3}
+        assert "_sids" not in json.dumps(d)
+
+    def test_to_dict_is_json_serializable(self):
+        with trace.capture("root", force=True, sids={3, 1}, rng=(0.5, 1.0)) as root:
+            pass
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["attrs"]["sids"] == [1, 3]
+
+    def test_exception_still_closes_trace(self):
+        with pytest.raises(RuntimeError):
+            with trace.capture("root", force=True):
+                with trace.span("child"):
+                    raise RuntimeError("boom")
+        assert not trace.is_active()
+
+
+class TestMetrics:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(0.75)
+        assert g.value == 0.75
+
+    def test_histogram_buckets(self):
+        h = Histogram("h", bounds=(1, 10, 100))
+        for v in (0, 1, 5, 10, 11, 1000):
+            h.observe(v)
+        assert h.count == 6
+        assert h.min == 0 and h.max == 1000
+        assert h.mean == pytest.approx(1027 / 6)
+        d = h.to_dict()
+        assert d["buckets"] == {"<=1": 2, "<=10": 2, "<=100": 1, ">100": 1}
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("x") is reg.gauge("x")
+        assert reg.histogram("x") is reg.histogram("x")
+
+    def test_registry_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("probes").inc(3)
+        reg.gauge("load").set(0.5)
+        reg.histogram("occ").observe(7)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"probes": 3}
+        assert snap["gauges"] == {"load": 0.5}
+        assert snap["histograms"]["occ"]["count"] == 1
+
+    def test_reset_zeroes_in_place(self):
+        """Module-cached instrument references survive a reset."""
+        reg = MetricsRegistry()
+        cached = reg.counter("probes")
+        cached.inc(9)
+        reg.reset()
+        assert cached.value == 0
+        assert reg.counter("probes") is cached
+        cached.inc()
+        assert reg.snapshot()["counters"]["probes"] == 1
+
+    def test_default_registry_instrumented_by_query(self, traced_query):
+        index, _ = traced_query
+        before = metrics.snapshot()["counters"].get("sfi.probes", 0)
+        index.query({1, 2, 3}, 0.5, 1.0)
+        after = metrics.snapshot()["counters"]["sfi.probes"]
+        assert after > before
+
+
+class TestExplain:
+    def test_query_result_carries_trace(self, traced_query):
+        _, result = traced_query
+        assert result.trace is not None
+        assert result.trace.name == "query"
+
+    def test_untraced_query_has_no_trace(self, traced_query):
+        index, _ = traced_query
+        result = index.query({1, 2, 3}, 0.5, 1.0)
+        assert result.trace is None
+
+    def test_filter_summaries_schema(self, traced_query):
+        _, result = traced_query
+        summaries = filter_summaries(result.trace)
+        assert summaries
+        for s in summaries:
+            assert s["kind"] in ("SFI", "DFI")
+            assert 0.0 < s["s_star"] < 1.0
+            assert s["r"] >= 1 and s["l"] >= 1
+            assert s["tables_probed"] == s["l"]
+            assert s["buckets_read"] >= s["l"]  # >=1 page per table probed
+            assert s["candidates"] >= 0
+            assert 0 <= s["survived"] <= s["candidates"]
+
+    def test_probe_spans_skip_inner_sfi_of_dfi(self):
+        with trace.capture("query", force=True) as root:
+            with trace.span("candidates"):
+                with trace.span("dfi_probe", s_star=0.3):
+                    with trace.span("sfi_probe", s_star=0.7):
+                        pass
+                with trace.span("sfi_probe", s_star=0.9):
+                    pass
+        names = [(s.name, s.attrs["s_star"]) for s in probe_spans(root)]
+        assert names == [("dfi_probe", 0.3), ("sfi_probe", 0.9)]
+
+    def test_explain_json_schema(self, traced_query):
+        _, result = traced_query
+        payload = explain_json(result.trace)
+        payload = json.loads(json.dumps(payload))  # must be JSON-safe
+        assert set(payload) == {"query", "filters", "io", "duration_ms", "trace"}
+        assert payload["query"]["sigma_low"] == 0.5
+        assert payload["query"]["n_candidates"] == result.n_candidates
+        assert payload["query"]["n_verified"] == result.n_verified
+        assert payload["io"]["random_reads"] > 0
+        assert payload["trace"]["name"] == "query"
+        assert payload["filters"] == filter_summaries(result.trace)
+
+    def test_render_trace_plan_tree(self, traced_query):
+        _, result = traced_query
+        text = render_trace(result.trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert any("probe SFI" in l or "probe DFI" in l for l in lines)
+        assert "s*=" in text and "(r=" in text
+        assert "buckets=" in text and "candidates=" in text
+        assert "survived=" in text
+        assert any(l.startswith(("├─", "└─")) for l in lines)
+
+    def test_scan_strategy_traced(self, traced_query):
+        index, _ = traced_query
+        result = index.query({1, 2, 3}, 0.0, 1.0, strategy="scan", explain=True)
+        assert list(result.trace.find("scan"))
+        assert filter_summaries(result.trace) == []
+
+
+class TestLogging:
+    def test_configure_is_idempotent(self):
+        logger = configure_logging(1)
+        n_before = len(logger.handlers)
+        configure_logging(2)
+        assert len(logger.handlers) == n_before
+        assert logger.level == logging.DEBUG
+
+    def test_verbosity_levels(self):
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(5).level == logging.DEBUG
+
+    def test_build_and_query_log(self, clustered_sets):
+        stream = io_module.StringIO()
+        configure_logging(2, stream=stream)
+        try:
+            index = SetSimilarityIndex.build(
+                clustered_sets[:30], budget=20, k=16, b=4, seed=2
+            )
+            index.query(clustered_sets[0], 0.6, 1.0)
+        finally:
+            configure_logging(0)
+        out = stream.getvalue()
+        assert "building index" in out
+        assert "query [0.600, 1.000]" in out
+
+    def test_loggers_under_repro_hierarchy(self):
+        from repro.obs.logs import get_logger
+
+        assert get_logger("core.index").name == f"{ROOT_LOGGER}.core.index"
+        assert get_logger("repro.core.index").name == "repro.core.index"

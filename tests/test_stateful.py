@@ -1,7 +1,6 @@
 """Stateful property tests: structures vs oracle models under random
 operation sequences (hypothesis RuleBasedStateMachine)."""
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
