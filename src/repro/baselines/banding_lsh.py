@@ -38,6 +38,9 @@ from repro.storage.pager import PageManager
 
 _PROBES = metrics.counter("banding.probes")
 _CANDIDATES = metrics.counter("banding.candidates")
+_BATCHES = metrics.counter("banding.batch_probes")
+# Shared with the hash-table layer (see BucketHashTable.probe_many).
+_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
 
 
 class BandingIndex:
@@ -134,6 +137,46 @@ class BandingIndex:
             if sp.recording:
                 sp.set(
                     tables_probed=self.n_tables, candidates=len(sids), _sids=sids
+                )
+            return sids
+
+    def probe_batch(self, signatures: np.ndarray) -> list[set[int]]:
+        """Band-probe every row of a ``(N, k)`` signature matrix.
+
+        Equivalent to ``[self.probe(row) for row in signatures]`` but
+        each band's keys are probed together with grouped bucket reads
+        (:meth:`~repro.storage.hashtable.BucketHashTable.probe_many`),
+        so bucket pages shared between queries are read once.
+        """
+        if signatures.ndim != 2 or signatures.shape[1] != self.k:
+            raise ValueError(
+                f"signatures must have shape (N, {self.k}), got {signatures.shape}"
+            )
+        n = signatures.shape[0]
+        if n == 0:
+            return []
+        saved_before = _PAGES_SAVED.value
+        with trace.span(
+            "banding_probe_batch",
+            s_star=self.threshold,
+            r=self.r,
+            l=self.n_tables,
+            n_queries=n,
+        ) as sp:
+            sids: list[set[int]] = [set() for _ in range(n)]
+            for band, table in zip(self._bands, self._tables):
+                keys = [row.tobytes() for row in signatures[:, band]]
+                for i, got in enumerate(table.probe_many(keys)):
+                    sids[i].update(got)
+            _BATCHES.inc()
+            _PROBES.inc(n)
+            _CANDIDATES.inc(sum(len(s) for s in sids))
+            if sp.recording:
+                sp.set(
+                    tables_probed=self.n_tables,
+                    candidates=sum(len(s) for s in sids),
+                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    _sids_per_query=sids,
                 )
             return sids
 

@@ -122,6 +122,67 @@ class SignatureFile:
             sp.set(candidates=len(hits))
             return hits
 
+    def subset_candidates_batch(
+        self, queries: Sequence[Iterable]
+    ) -> list[list[int]]:
+        """Batch :meth:`subset_candidates`: one file scan for all queries.
+
+        The signature file is scanned once (one ``n_pages`` sequential
+        charge) and every stored signature is tested against every
+        query's encoded signature; per-query results are identical to
+        the query loop, which would have paid the scan per query.
+        """
+        n = len(queries)
+        with trace.span(
+            "signature_subset_scan_batch", n_pages=self.n_pages, n_queries=n
+        ) as sp:
+            encoded = [self.encode(q) for q in queries]
+            if n:
+                self._charge_scan()
+            hits: list[list[int]] = [[] for _ in range(n)]
+            for sid, signature in enumerate(self._signatures):
+                for i, query in enumerate(encoded):
+                    if np.all((signature & query) == query):
+                        hits[i].append(sid)
+            _SCREENS.inc(n)
+            _SCREEN_HITS.inc(sum(len(h) for h in hits))
+            sp.set(
+                candidates=sum(len(h) for h in hits),
+                pages_saved=self.n_pages * max(0, n - 1),
+            )
+            return hits
+
+    def similarity_screen_batch(
+        self, queries: Sequence[Iterable], threshold: float
+    ) -> list[list[int]]:
+        """Batch :meth:`similarity_screen`: one file scan for all queries."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        n = len(queries)
+        with trace.span(
+            "signature_similarity_scan_batch",
+            threshold=threshold,
+            n_pages=self.n_pages,
+            n_queries=n,
+        ) as sp:
+            encoded = [self.encode(q) for q in queries]
+            if n:
+                self._charge_scan()
+            hits: list[list[int]] = [[] for _ in range(n)]
+            for sid, signature in enumerate(self._signatures):
+                for i, query in enumerate(encoded):
+                    inter = int(np.bitwise_count(signature & query).sum())
+                    union = int(np.bitwise_count(signature | query).sum())
+                    if union == 0 or inter / union >= threshold:
+                        hits[i].append(sid)
+            _SCREENS.inc(n)
+            _SCREEN_HITS.inc(sum(len(h) for h in hits))
+            sp.set(
+                candidates=sum(len(h) for h in hits),
+                pages_saved=self.n_pages * max(0, n - 1),
+            )
+            return hits
+
     def similarity_screen(self, elements: Iterable, threshold: float) -> list[int]:
         """Sids whose signature bit-overlap fraction reaches ``threshold``.
 

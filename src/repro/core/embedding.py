@@ -93,6 +93,10 @@ class SetEmbedder:
         """The intermediate min-hash signature (space ``V``)."""
         return self.hasher.signature(elements)
 
+    def signature_matrix(self, sets: Iterable[Iterable]) -> np.ndarray:
+        """Signatures of many sets in one vectorized pass, ``(N, k)``."""
+        return self.hasher.signature_matrix(sets)
+
     def embed(self, elements: Iterable) -> np.ndarray:
         """Packed ``D``-bit embedding of one set (space ``H``)."""
         return self.code.encode(self.hasher.signature(elements))

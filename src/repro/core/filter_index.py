@@ -38,9 +38,14 @@ from repro.storage.pager import PageManager
 _SFI_PROBES = metrics.counter("sfi.probes")
 _SFI_CANDIDATES = metrics.counter("sfi.candidates")
 _SFI_DUPLICATES = metrics.counter("sfi.duplicate_candidates")
+_SFI_BATCHES = metrics.counter("sfi.batch_probes")
 _DFI_PROBES = metrics.counter("dfi.probes")
 _DFI_CANDIDATES = metrics.counter("dfi.candidates")
+_DFI_BATCHES = metrics.counter("dfi.batch_probes")
 _TABLE_CANDIDATES = metrics.histogram("sfi.table_candidates")
+# Shared with the hash-table layer: pages a batched probe avoided by
+# serving several batch members from one bucket read.
+_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
 
 
 class SimilarityFilterIndex:
@@ -174,6 +179,49 @@ class SimilarityFilterIndex:
             )
             return sids
 
+    def probe_batch(self, matrix: np.ndarray) -> list[set[int]]:
+        """``SimVector(s*, q)`` for every row of a packed query matrix.
+
+        Equivalent to ``[self.probe(row) for row in matrix]`` but each
+        table extracts all keys in one vectorized pass and probes them
+        with grouped bucket reads
+        (:meth:`~repro.storage.hashtable.BucketHashTable.probe_many`),
+        so a bucket page shared by several queries of the batch is read
+        once instead of once per query.
+        """
+        n = matrix.shape[0]
+        if n == 0:
+            return []
+        saved_before = _PAGES_SAVED.value
+        with trace.span(
+            "sfi_probe_batch",
+            s_star=self.threshold,
+            sigma=getattr(self, "sigma_point", None),
+            r=self.filter.r,
+            l=len(self._tables),
+            n_queries=n,
+        ) as sp:
+            sids: list[set[int]] = [set() for _ in range(n)]
+            totals = [0] * n
+            for sampler, table in zip(self._samplers, self._tables):
+                for i, got in enumerate(table.probe_many(sampler.keys(matrix))):
+                    totals[i] += len(got)
+                    sids[i].update(got)
+            _SFI_BATCHES.value += 1
+            _SFI_PROBES.value += n
+            unique = sum(len(s) for s in sids)
+            _SFI_CANDIDATES.value += unique
+            _SFI_DUPLICATES.value += sum(totals) - unique
+            if sp.recording:
+                sp.set(
+                    tables_probed=len(self._tables),
+                    candidates=unique,
+                    collisions=sum(totals) - unique,
+                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    _sids_per_query=sids,
+                )
+            return sids
+
     def table_stats(self, detail: bool = False) -> dict:
         """Aggregate occupancy/load statistics over the ``l`` tables.
 
@@ -286,6 +334,34 @@ class DissimilarityFilterIndex:
                 candidates=len(sids),
                 _sids=sids,
             )
+            return sids
+
+    def probe_batch(self, matrix: np.ndarray) -> list[set[int]]:
+        """Batch ``DissimVector``: probe the inner SFI with ``~rows``."""
+        n = matrix.shape[0]
+        if n == 0:
+            return []
+        saved_before = _PAGES_SAVED.value
+        with trace.span(
+            "dfi_probe_batch",
+            s_star=self.threshold,
+            sigma=getattr(self, "sigma_point", None),
+            r=self.r,
+            l=self.n_tables,
+            n_queries=n,
+        ) as sp:
+            sids = self._sfi.probe_batch(complement(matrix, self.n_bits))
+            _DFI_BATCHES.value += 1
+            _DFI_PROBES.value += n
+            unique = sum(len(s) for s in sids)
+            _DFI_CANDIDATES.value += unique
+            if sp.recording:
+                sp.set(
+                    tables_probed=self.n_tables,
+                    candidates=unique,
+                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    _sids_per_query=sids,
+                )
             return sids
 
     def table_stats(self, detail: bool = False) -> dict:

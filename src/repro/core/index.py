@@ -25,7 +25,7 @@ from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIn
 from repro.core.optimizer import SFI, IndexPlan, greedy_allocate, plan_index
 from repro.core.similarity import jaccard
 from repro.obs import metrics, trace
-from repro.obs.explain import probe_spans
+from repro.obs.explain import batch_probe_spans, probe_spans
 from repro.obs.trace import Span
 from repro.storage.iomodel import IOCostModel, IOStats
 from repro.storage.pager import PageManager
@@ -38,6 +38,12 @@ _QUERY_CANDIDATES = metrics.counter("query.candidates")
 _QUERY_VERIFIED = metrics.counter("query.verified_hits")
 _QUERY_FALSE_POSITIVES = metrics.counter("query.false_positives")
 _CANDIDATES_PER_QUERY = metrics.histogram("query.candidates_per_query")
+_QUERY_BATCHES = metrics.counter("query.batches")
+_BATCH_SIZE = metrics.histogram("query.batch_size")
+_BATCH_FETCHES_SAVED = metrics.counter("query.batch_fetches_saved")
+# Shared with the hash-table layer: bucket pages a grouped batch probe
+# avoided reading (several queries served from one bucket read).
+_BATCH_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
 
 
 @dataclass
@@ -82,6 +88,60 @@ class QueryResult:
     def answer_sids(self) -> set[int]:
         """The answer set identifiers (without similarities)."""
         return {sid for sid, _ in self.answers}
+
+
+@dataclass
+class BatchQueryResult:
+    """Outcome of one batched similarity range query.
+
+    ``results[i]`` answers ``queries[i]`` with exactly the answers and
+    candidates a standalone :meth:`SetSimilarityIndex.query` would have
+    produced.  I/O is a *batch-level* quantity: grouped probes and
+    deduplicated candidate fetches share page reads across queries, so
+    per-query attribution would be arbitrary -- the inner results carry
+    zeroed I/O fields and the real totals live here.
+
+    ``pages_saved`` counts bucket pages the grouped probes did not read
+    (versus looping :meth:`~SetSimilarityIndex.query`); ``fetches_saved``
+    counts candidate fetches avoided because a candidate was shared by
+    several queries of the batch.
+    """
+
+    results: list[QueryResult]
+    io: IOStats
+    io_time: float
+    cpu_time: float
+    pages_saved: int = 0
+    fetches_saved: int = 0
+    trace: Span | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_time(self) -> float:
+        """Simulated response time of the whole batch: I/O plus CPU."""
+        return self.io_time + self.cpu_time
+
+    @property
+    def n_candidates(self) -> int:
+        """Candidate count summed over the batch."""
+        return sum(r.n_candidates for r in self.results)
+
+    @property
+    def n_verified(self) -> int:
+        """Verified answer count summed over the batch."""
+        return sum(r.n_verified for r in self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> QueryResult:
+        return self.results[i]
 
 
 class SetSimilarityIndex:
@@ -409,6 +469,380 @@ class SetSimilarityIndex:
     def query_below(self, elements: Iterable, sigma: float) -> QueryResult:
         """Sets at most ``sigma``-similar to the query."""
         return self.query(elements, 0.0, sigma)
+
+    # -- batched query processing ---------------------------------------------
+
+    def query_batch(
+        self,
+        queries: Sequence[Iterable],
+        sigma_low: float,
+        sigma_high: float,
+        strategy: str = "index",
+        explain: bool = False,
+    ) -> BatchQueryResult:
+        """Answer many queries over one shared range in a single pass.
+
+        Semantically equivalent to ``[self.query(q, sigma_low,
+        sigma_high) for q in queries]`` -- each query's answers,
+        candidates and counts are identical -- but executed batch-wise:
+
+        1. all query sets are embedded through one vectorized
+           minhash + ECC pass (:meth:`SetEmbedder.embed_many`);
+        2. every filter index of the plan is probed once for the whole
+           batch with grouped bucket lookups, so a bucket page shared
+           by several queries is read once instead of once per query;
+        3. candidates are fetched once per *distinct* candidate and
+           verified exactly; the packed-matrix Hamming kernel
+           (:func:`~repro.hamming.distance.hamming_similarity_matrix`)
+           computes every pair's estimated similarity in one popcount
+           pass, which orders verification and feeds the batch EXPLAIN
+           aggregates (answer membership stays exactly verified).
+
+        The batch's simulated page-read total is therefore never
+        greater than the equivalent query loop, and strictly smaller
+        whenever queries share buckets or candidates.  Accounted CPU
+        work is identical to the loop.  ``strategy`` and ``explain``
+        behave as in :meth:`query`; with ``strategy="scan"`` the whole
+        collection is read once for the entire batch.
+        """
+        if not 0.0 <= sigma_low <= sigma_high <= 1.0:
+            raise ValueError(
+                f"invalid similarity range [{sigma_low}, {sigma_high}]"
+            )
+        if strategy not in ("index", "scan", "auto"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        if strategy == "auto":
+            strategy = self.planner().choose(sigma_low, sigma_high)
+        query_sets = [frozenset(q) for q in queries]
+        saved_before = _BATCH_PAGES_SAVED.value
+        with trace.capture(
+            "query_batch",
+            io=self.io,
+            force=explain,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            n_queries=len(query_sets),
+        ) as root:
+            before = self.io.snapshot()
+            if strategy == "scan":
+                candidates_list, answers_list = self._scan_query_batch(
+                    query_sets, sigma_low, sigma_high
+                )
+                fetches_saved = 0
+            else:
+                candidates_list, matrix, rows = self._candidates_batch(
+                    query_sets, sigma_low, sigma_high
+                )
+                answers_list, fetches_saved = self._verify_batch(
+                    query_sets, candidates_list, sigma_low, sigma_high,
+                    matrix, rows,
+                )
+            delta = self.io.snapshot() - before
+            if strategy == "scan":
+                # One shared collection pass instead of one per query.
+                pages_saved = (delta.random_reads + delta.sequential_reads) * max(
+                    0, len(query_sets) - 1
+                )
+            else:
+                pages_saved = _BATCH_PAGES_SAVED.value - saved_before
+            batch = BatchQueryResult(
+                results=[
+                    QueryResult(
+                        answers=answers,
+                        candidates=candidates,
+                        io=IOStats(),
+                        io_time=0.0,
+                        cpu_time=0.0,
+                    )
+                    for answers, candidates in zip(answers_list, candidates_list)
+                ],
+                io=delta,
+                io_time=self.io.io_time(delta),
+                cpu_time=self.io.cpu_time(delta),
+                pages_saved=pages_saved,
+                fetches_saved=fetches_saved,
+                trace=root,
+            )
+            if root is not None:
+                self._annotate_batch_trace(root, batch)
+        _QUERY_BATCHES.inc()
+        _BATCH_SIZE.observe(batch.n_queries)
+        _BATCH_FETCHES_SAVED.inc(fetches_saved)
+        _QUERIES.inc(batch.n_queries)
+        _QUERY_CANDIDATES.inc(batch.n_candidates)
+        _QUERY_VERIFIED.inc(batch.n_verified)
+        _QUERY_FALSE_POSITIVES.inc(batch.n_candidates - batch.n_verified)
+        for result in batch.results:
+            _CANDIDATES_PER_QUERY.observe(result.n_candidates)
+        logger.debug(
+            "query_batch [%.3f, %.3f] strategy=%s: %d queries, %d answers / "
+            "%d candidates, %d bucket pages + %d fetches saved, "
+            "simulated time %.1f",
+            sigma_low, sigma_high, strategy, batch.n_queries,
+            batch.n_verified, batch.n_candidates,
+            batch.pages_saved, batch.fetches_saved, batch.total_time,
+        )
+        return batch
+
+    def query_above_batch(
+        self, queries: Sequence[Iterable], sigma: float, **kwargs
+    ) -> BatchQueryResult:
+        """Batched :meth:`query_above`: sets at least ``sigma``-similar."""
+        return self.query_batch(queries, sigma, 1.0, **kwargs)
+
+    def query_below_batch(
+        self, queries: Sequence[Iterable], sigma: float, **kwargs
+    ) -> BatchQueryResult:
+        """Batched :meth:`query_below`: sets at most ``sigma``-similar."""
+        return self.query_batch(queries, 0.0, sigma, **kwargs)
+
+    def _scan_query_batch(
+        self, query_sets: list[frozenset], sigma_low: float, sigma_high: float
+    ) -> tuple[list[set[int]], list[list[tuple[int, float]]]]:
+        """Exact batch evaluation: one sequential pass serves all queries."""
+        n = len(query_sets)
+        with trace.span(
+            "scan_batch", n_pages=self.store.n_pages, n_queries=n
+        ) as sp:
+            answers_list: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+            candidates_list: list[set[int]] = [set() for _ in range(n)]
+            for sid, stored in self.store.scan():
+                for i, query_set in enumerate(query_sets):
+                    candidates_list[i].add(sid)
+                    self.io.cpu(len(stored) + len(query_set))
+                    similarity = jaccard(stored, query_set)
+                    if sigma_low <= similarity <= sigma_high:
+                        answers_list[i].append((sid, similarity))
+            for answers in answers_list:
+                answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            sp.set(
+                n_candidates=sum(len(c) for c in candidates_list),
+                n_verified=sum(len(a) for a in answers_list),
+            )
+            return candidates_list, answers_list
+
+    def _candidates_batch(
+        self, query_sets: list[frozenset], sigma_low: float, sigma_high: float
+    ) -> tuple[list[set[int]], np.ndarray | None, list[int]]:
+        """Batch counterpart of :meth:`_candidates`.
+
+        Returns the per-query candidate sets plus the packed embedding
+        matrix of the non-empty query sets and the batch positions its
+        rows correspond to (for the verification-stage Hamming kernel
+        and trace annotation).
+        """
+        lo, up = self._enclosing_points(sigma_low, sigma_high)
+        n = len(query_sets)
+        with trace.span(
+            "candidates_batch", lo=lo, up=up, n_queries=n
+        ) as sp:
+            if lo is None and up is None:
+                sp.set(plan="full_collection")
+                return [set(self._vectors) for _ in range(n)], None, []
+            results: list[set[int]] = [set() for _ in range(n)]
+            # Empty query sets cannot be embedded; as in the single
+            # path they contribute no candidates outside the
+            # full-collection plan.
+            rows = [i for i, q in enumerate(query_sets) if q]
+            if not rows:
+                sp.set(plan="empty_queries")
+                return results, None, []
+            with trace.span(
+                "embed_batch", k=self.embedder.k, n_queries=len(rows)
+            ):
+                matrix = self.embedder.embed_many(
+                    [query_sets[i] for i in rows]
+                )
+                self.io.cpu(self.embedder.k * len(rows))
+
+            def sim(point: float) -> list[set[int]]:
+                return self._sfis[point].probe_batch(matrix)
+
+            def dissim(point: float) -> list[set[int]]:
+                return self._dfis[point].probe_batch(matrix)
+
+            def done(plan: str, per_row: list[set[int]]):
+                for row, i in enumerate(rows):
+                    results[i] = per_row[row]
+                sp.set(
+                    plan=plan,
+                    n_candidates=sum(len(s) for s in results),
+                    _rows=rows,
+                )
+                return results, matrix, rows
+
+            if lo is None:
+                if up in self._dfis:
+                    return done("dfi(up)", dissim(up))
+                everything = set(self._vectors)
+                return done(
+                    "complement_sfi(up)", [everything - s for s in sim(up)]
+                )
+            if up is None:
+                if lo in self._sfis:
+                    return done("sfi(lo)", sim(lo))
+                everything = set(self._vectors)
+                return done(
+                    "complement_dfi(lo)", [everything - s for s in dissim(lo)]
+                )
+            if lo in self._sfis and up in self._sfis:
+                low_sets, up_sets = sim(lo), sim(up)
+                return done(
+                    "sfi_difference",
+                    [a - b for a, b in zip(low_sets, up_sets)],
+                )
+            if lo in self._dfis and up in self._dfis:
+                low_sets, up_sets = dissim(lo), dissim(up)
+                return done(
+                    "dfi_difference",
+                    [b - a for a, b in zip(low_sets, up_sets)],
+                )
+            pivot = self._pivot_between(lo, up)
+            sp.set(pivot=pivot)
+            pivot_dissim, lo_dissim = dissim(pivot), dissim(lo)
+            pivot_sim, up_sim = sim(pivot), sim(up)
+            return done(
+                "pivot_union",
+                [
+                    (pd - ld) | (ps - us)
+                    for pd, ld, ps, us in zip(
+                        pivot_dissim, lo_dissim, pivot_sim, up_sim
+                    )
+                ],
+            )
+
+    def _verify_batch(
+        self,
+        query_sets: list[frozenset],
+        candidates_list: list[set[int]],
+        sigma_low: float,
+        sigma_high: float,
+        matrix: np.ndarray | None,
+        rows: list[int],
+    ) -> tuple[list[list[tuple[int, float]]], int]:
+        """Fetch each distinct candidate once and verify all pairs.
+
+        The packed Hamming kernel estimates every (query, candidate)
+        pair's similarity in one matrix popcount; the estimates order
+        each query's verification (likely answers first) and feed the
+        batch trace aggregates.  Membership is decided by exact Jaccard
+        on the fetched sets, as in :meth:`_verify`, and accounted CPU
+        per pair is identical to the single-query path.
+        """
+        from repro.hamming.distance import hamming_distance_pairs
+
+        n_pairs = sum(len(c) for c in candidates_list)
+        with trace.span(
+            "verify_batch",
+            n_queries=len(query_sets),
+            n_pairs=n_pairs,
+        ) as sp:
+            distinct = sorted(set().union(*candidates_list)) if candidates_list else []
+            fetched = {sid: self.store.get(sid) for sid in distinct}
+            fetches_saved = n_pairs - len(distinct)
+            # One popcount kernel for all (query, candidate) pairs of
+            # the batch: gather the pair rows and compute every
+            # estimated similarity at once, converted to Jaccard
+            # estimates in one vectorized pass (wall-clock work only;
+            # not accounted as simulated CPU, which stays identical to
+            # the query loop).
+            row_of = {i: row for row, i in enumerate(rows)}
+            cand_lists: list[list[int] | None] = [None] * len(query_sets)
+            pair_vals: np.ndarray | None = None
+            offsets: list[int] = []
+            if rows and distinct:
+                cand_matrix = np.stack([self._vectors[sid] for sid in distinct])
+                col = {sid: j for j, sid in enumerate(distinct)}
+                q_rows: list[int] = []
+                c_cols: list[int] = []
+                offset = 0
+                for i, candidates in enumerate(candidates_list):
+                    row = row_of.get(i)
+                    if row is None or not candidates:
+                        offsets.append(offset)
+                        continue
+                    cand_list = list(candidates)
+                    cand_lists[i] = cand_list
+                    q_rows.extend([row] * len(cand_list))
+                    c_cols.extend(col[sid] for sid in cand_list)
+                    offsets.append(offset)
+                    offset += len(cand_list)
+                if q_rows:
+                    dists = hamming_distance_pairs(
+                        matrix[q_rows], cand_matrix[c_cols]
+                    )
+                    sims = 1.0 - dists / self.embedder.dimension
+                    # Vectorized hamming_to_jaccard (with the embedding
+                    # module's fixed-precision collision-bias correction).
+                    collide = 2.0 ** (-self.embedder.b)
+                    pair_vals = np.clip(
+                        (2.0 * sims - 1.0 - collide) / (1.0 - collide),
+                        0.0, 1.0,
+                    )
+            answers_list: list[list[tuple[int, float]]] = []
+            est_in_range = 0
+            for i, (query_set, candidates) in enumerate(
+                zip(query_sets, candidates_list)
+            ):
+                cand_list = cand_lists[i]
+                if cand_list is None or pair_vals is None:
+                    ordered = sorted(candidates)
+                else:
+                    vals = pair_vals[offsets[i]:offsets[i] + len(cand_list)]
+                    est_in_range += int(
+                        ((sigma_low <= vals) & (vals <= sigma_high)).sum()
+                    )
+                    # Verify most-promising first, ties by sid.
+                    ordered = [
+                        sid for _, sid in
+                        sorted(zip((-vals).tolist(), cand_list))
+                    ]
+                answers: list[tuple[int, float]] = []
+                for sid in ordered:
+                    stored = fetched[sid]
+                    self.io.cpu(len(stored) + len(query_set))
+                    similarity = jaccard(stored, query_set)
+                    if sigma_low <= similarity <= sigma_high:
+                        answers.append((sid, similarity))
+                answers.sort(key=lambda pair: (-pair[1], pair[0]))
+                answers_list.append(answers)
+            n_verified = sum(len(a) for a in answers_list)
+            sp.set(
+                n_candidates=len(distinct),
+                n_verified=n_verified,
+                false_positives=n_pairs - n_verified,
+                fetches_saved=fetches_saved,
+                est_in_range=est_in_range,
+            )
+            return answers_list, fetches_saved
+
+    def _annotate_batch_trace(self, root: Span, batch: BatchQueryResult) -> None:
+        """Post-batch trace enrichment: totals on the root span plus
+        per-batch-probe survivor counts (contributed (query, candidate)
+        pairs whose candidate passed that query's exact verification)."""
+        root.set(
+            n_candidates=batch.n_candidates,
+            n_verified=batch.n_verified,
+            io_time=batch.io_time,
+            cpu_time=batch.cpu_time,
+            total_time=batch.total_time,
+            pages_saved=batch.pages_saved,
+            fetches_saved=batch.fetches_saved,
+        )
+        answer_sids = [r.answer_sids for r in batch.results]
+        for cspan in root.find("candidates_batch"):
+            rows = cspan.attrs.get("_rows")
+            if rows is None:
+                continue
+            for span in batch_probe_spans(cspan):
+                per_query = span.attrs.get("_sids_per_query")
+                if per_query is None:
+                    continue
+                span.set(survived=sum(
+                    len(sids & answer_sids[i])
+                    for sids, i in zip(per_query, rows)
+                ))
 
     def _candidates(
         self, query_set: frozenset, sigma_low: float, sigma_high: float

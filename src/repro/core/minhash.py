@@ -88,12 +88,60 @@ class MinHasher:
         table = (self._a[:, np.newaxis] * hashed[np.newaxis, :] + self._b[:, np.newaxis]) % self._p
         return table.min(axis=1)
 
-    def signature_matrix(self, sets: Iterable[Iterable]) -> np.ndarray:
-        """Signatures of many sets stacked into shape ``(N, k)``."""
-        signatures = [self.signature(s) for s in sets]
-        if not signatures:
-            return np.empty((0, self.k), dtype=np.uint64)
-        return np.stack(signatures)
+    def signature_matrix(
+        self, sets: Iterable[Iterable], chunk_elements: int = 1 << 18
+    ) -> np.ndarray:
+        """Signatures of many sets stacked into shape ``(N, k)``.
+
+        One vectorized pass: every element of the whole chunk is hashed
+        once (duplicate elements across sets are hashed once and reused
+        -- a batch can share most of its vocabulary), the universal-hash
+        table is computed for all columns in a single uint64 numpy
+        expression, and per-set minima are taken with segmented
+        ``np.minimum.reduceat``.  Results are bit-identical to calling
+        :meth:`signature` per set.
+
+        ``chunk_elements`` bounds the working-set size (the hash table
+        is ``k x chunk_elements`` of uint64); large collections are
+        processed in chunks split on set boundaries.
+        """
+        sets = [s if hasattr(s, "__len__") else tuple(s) for s in sets]
+        n = len(sets)
+        out = np.empty((n, self.k), dtype=np.uint64)
+        start = 0
+        while start < n:
+            stop, total = start, 0
+            while stop < n and (stop == start or total + len(sets[stop]) <= chunk_elements):
+                total += len(sets[stop])
+                stop += 1
+            chunk = sets[start:stop]
+            counts = np.array([len(s) for s in chunk], dtype=np.int64)
+            if np.any(counts == 0):
+                raise ValueError("cannot compute a min-hash signature of the empty set")
+            # Hash each distinct element once, then gather per occurrence.
+            positions: dict = {}
+            order: list = []
+            indices = np.empty(total, dtype=np.int64)
+            j = 0
+            for s in chunk:
+                for element in s:
+                    idx = positions.get(element)
+                    if idx is None:
+                        idx = positions[element] = len(order)
+                        order.append(element)
+                    indices[j] = idx
+                    j += 1
+            hashed = self.hash_elements(order)[indices]
+            # (k, total) table of h_i(x_j), reduced per set segment.
+            table = (
+                self._a[:, np.newaxis] * hashed[np.newaxis, :]
+                + self._b[:, np.newaxis]
+            ) % self._p
+            offsets = np.zeros(len(chunk), dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            out[start:stop] = np.minimum.reduceat(table, offsets, axis=1).T
+            start = stop
+        return out
 
     def hash_elements(self, elements: Iterable) -> np.ndarray:
         """Stable element hashes reduced modulo the Mersenne prime."""

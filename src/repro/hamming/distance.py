@@ -40,6 +40,54 @@ def hamming_distance_many(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
     return _popcount(matrix ^ query[np.newaxis, :]).sum(axis=1).astype(np.int64)
 
 
+def hamming_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between two packed matrices.
+
+    For an ``(A, W)`` matrix and a ``(B, W)`` matrix the result is the
+    ``(A, B)`` int64 matrix of all pair distances, computed with a
+    single broadcast XOR + popcount kernel -- the batch counterpart of
+    :func:`hamming_distance_many`.  Large products are processed in row
+    chunks to bound the ``A * B * W``-word intermediate.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"expected (A, W) and (B, W) matrices, got {a.shape} and {b.shape}"
+        )
+    out = np.empty((a.shape[0], b.shape[0]), dtype=np.int64)
+    # ~64 MiB of uint64 intermediate per chunk.
+    chunk = max(1, (8 << 20) // max(1, b.shape[0] * b.shape[1]))
+    for lo in range(0, a.shape[0], chunk):
+        hi = min(lo + chunk, a.shape[0])
+        xored = a[lo:hi, np.newaxis, :] ^ b[np.newaxis, :, :]
+        out[lo:hi] = _popcount(xored).sum(axis=2)
+    return out
+
+
+def hamming_distance_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-aligned Hamming distances of two packed ``(N, W)`` matrices.
+
+    ``result[i] == hamming_distance(a[i], b[i])`` -- the kernel for a
+    pre-gathered pair list (each row of ``a`` already matched with its
+    row of ``b``), computed with one chunked XOR + popcount pass.
+    Complements :func:`hamming_distance_matrix`, which produces all
+    ``A x B`` combinations.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape != b.shape:
+        raise ValueError(
+            f"expected equal (N, W) matrices, got {a.shape} and {b.shape}"
+        )
+    out = np.empty(a.shape[0], dtype=np.int64)
+    chunk = max(1, (8 << 20) // max(1, a.shape[1]))
+    for lo in range(0, a.shape[0], chunk):
+        hi = min(lo + chunk, a.shape[0])
+        out[lo:hi] = _popcount(a[lo:hi] ^ b[lo:hi]).sum(axis=1)
+    return out
+
+
 def hamming_similarity(a: np.ndarray, b: np.ndarray, n_bits: int) -> float:
     """Hamming similarity (Definition 4) of two packed ``n_bits`` vectors."""
     if n_bits <= 0:
@@ -54,3 +102,12 @@ def hamming_similarity_many(
     if n_bits <= 0:
         raise ValueError(f"n_bits must be positive, got {n_bits}")
     return 1.0 - hamming_distance_many(matrix, query) / n_bits
+
+
+def hamming_similarity_matrix(
+    a: np.ndarray, b: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Pairwise Hamming similarities, ``(A, B)``, of two packed matrices."""
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be positive, got {n_bits}")
+    return 1.0 - hamming_distance_matrix(a, b) / n_bits

@@ -41,6 +41,7 @@ excluded from :meth:`Span.to_dict` serialization.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from typing import Any, Iterator
@@ -89,8 +90,17 @@ def _jsonable(value: Any) -> Any:
         return [_jsonable(v) for v in value]
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
-    if hasattr(value, "item"):  # numpy scalars, without importing numpy
-        return value.item()
+    # Numpy scalars/arrays, without importing numpy: duck-typing on an
+    # ``item`` attribute is too loose (it would call ``.item()`` on any
+    # object that happens to have one, e.g. a 0-d array's would be fine
+    # but an arbitrary object's may not return a JSON-safe value), so
+    # check the real types -- but only if numpy is already loaded.
+    np = sys.modules.get("numpy")
+    if np is not None:
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return _jsonable(value.tolist())
     return repr(value)
 
 

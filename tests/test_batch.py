@@ -1,0 +1,161 @@
+"""Equivalence tests: ``query_batch`` vs a ``query()`` loop.
+
+The batched execution path is an *optimization*, not a different
+algorithm: for any workload it must return exactly the same answer
+lists and candidate sets as looping the scalar path, charge the same
+accounted CPU, and never read more pages.  These tests pin that
+contract over randomized workloads (collections, query mixes and
+similarity ranges all drawn from per-seed RNGs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.index import BatchQueryResult, SetSimilarityIndex
+from repro.data.generators import planted_clusters, uniform_random_sets
+
+#: Randomized-equivalence coverage: one workload per seed.
+SEEDS = range(24)
+
+#: Similarity ranges cycled through by the randomized workloads --
+#: above-only, below-only, interior and degenerate-wide, so every plan
+#: family (sfi, dfi, complements, differences, full collection) comes up.
+RANGES = [(0.5, 1.0), (0.0, 0.4), (0.2, 0.8), (0.0, 1.0), (0.7, 0.9)]
+
+
+def _pages(delta) -> int:
+    return delta.random_reads + delta.sequential_reads
+
+
+def _build_workload(seed: int):
+    """A small index plus a mixed query batch, all derived from ``seed``."""
+    rng = np.random.default_rng(seed)
+    if seed % 2:
+        sets = planted_clusters(
+            n_clusters=6,
+            per_cluster=8,
+            base_size=24,
+            universe=1500,
+            mutation_rate=0.2,
+            seed=seed,
+        )
+    else:
+        sets = uniform_random_sets(
+            n_sets=48, set_size=16, universe=800, seed=seed
+        )
+    index = SetSimilarityIndex.build(
+        sets, budget=40, recall_target=0.8, k=24, b=4, seed=seed,
+        sample_pairs=2_000,
+    )
+    # Query mix: indexed sets, perturbed variants, and one unseen set.
+    queries = []
+    for _ in range(6):
+        queries.append(sets[int(rng.integers(len(sets)))])
+    for _ in range(3):
+        base = set(sets[int(rng.integers(len(sets)))])
+        for element in list(base)[: len(base) // 3]:
+            base.discard(element)
+        base.add(10_000 + int(rng.integers(1000)))
+        queries.append(frozenset(base))
+    queries.append(frozenset(int(x) for x in rng.integers(0, 800, size=10)))
+    lo, hi = RANGES[seed % len(RANGES)]
+    return index, queries, lo, hi
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_equals_query_loop(seed):
+    """Identical answers/candidates/CPU; never more page reads."""
+    index, queries, lo, hi = _build_workload(seed)
+
+    before = index.io.snapshot()
+    singles = [index.query(q, lo, hi) for q in queries]
+    single_delta = index.io.snapshot() - before
+    single_cpu = sum(r.cpu_time for r in singles)
+
+    before = index.io.snapshot()
+    batch = index.query_batch(queries, lo, hi)
+    batch_delta = index.io.snapshot() - before
+
+    assert batch.n_queries == len(queries)
+    for single, batched in zip(singles, batch.results):
+        assert batched.answers == single.answers
+        assert batched.candidates == single.candidates
+        assert batched.n_candidates == single.n_candidates
+        assert batched.n_verified == single.n_verified
+    # Accounted CPU is identical work (embedding + verification)...
+    assert batch.cpu_time == pytest.approx(single_cpu)
+    # ...while the batch never reads more pages, and its own savings
+    # accounting is consistent with the observed page delta.
+    assert _pages(batch_delta) <= _pages(single_delta)
+    assert _pages(single_delta) - _pages(batch_delta) >= batch.pages_saved
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_scan_strategy_equivalence(seed):
+    index, queries, lo, hi = _build_workload(seed)
+    singles = [index.query(q, lo, hi, strategy="scan") for q in queries]
+    batch = index.query_batch(queries, lo, hi, strategy="scan")
+    for single, batched in zip(singles, batch.results):
+        assert batched.answers == single.answers
+        assert batched.candidates == single.candidates
+    # One shared scan pass: strictly fewer reads than a per-query scan.
+    assert batch.pages_saved > 0
+
+
+def test_above_below_wrappers_match_query_batch():
+    index, queries, _, _ = _build_workload(5)
+    above = index.query_above_batch(queries, 0.6)
+    below = index.query_below_batch(queries, 0.3)
+    direct_above = index.query_batch(queries, 0.6, 1.0)
+    direct_below = index.query_batch(queries, 0.0, 0.3)
+    for got, want in ((above, direct_above), (below, direct_below)):
+        for batched, single in zip(got.results, want.results):
+            assert batched.answers == single.answers
+
+
+def test_batch_result_container_protocol():
+    index, queries, lo, hi = _build_workload(2)
+    batch = index.query_batch(queries, lo, hi)
+    assert isinstance(batch, BatchQueryResult)
+    assert len(batch) == len(queries)
+    assert list(iter(batch)) == batch.results
+    assert batch[0] is batch.results[0]
+    assert batch.n_candidates == sum(r.n_candidates for r in batch.results)
+    assert batch.n_verified == sum(r.n_verified for r in batch.results)
+    # Batch-level I/O lives on the batch; inner results carry zeros.
+    for result in batch.results:
+        assert result.io_time == 0.0
+        assert result.cpu_time == 0.0
+
+
+def test_empty_batch_and_empty_query_sets():
+    index, queries, _, _ = _build_workload(4)
+    empty = index.query_batch([], 0.5, 1.0)
+    assert empty.n_queries == 0
+    assert empty.results == []
+
+    mixed = index.query_batch([frozenset(), queries[0]], 0.5, 1.0)
+    assert mixed.results[0].answers == index.query(frozenset(), 0.5, 1.0).answers
+    assert mixed.results[1].answers == index.query(queries[0], 0.5, 1.0).answers
+
+
+def test_invalid_range_rejected():
+    index, queries, _, _ = _build_workload(6)
+    with pytest.raises(ValueError):
+        index.query_batch(queries, 0.9, 0.4)
+    with pytest.raises(ValueError):
+        index.query_batch(queries, -0.1, 0.5)
+
+
+def test_duplicate_queries_share_work():
+    """Repeating one query set must not change its answers, and the
+    candidate-fetch dedup must kick in."""
+    index, queries, lo, hi = _build_workload(8)
+    single = index.query(queries[0], lo, hi)
+    batch = index.query_batch([queries[0]] * 6, lo, hi)
+    for result in batch.results:
+        assert result.answers == single.answers
+    if single.n_candidates:
+        assert batch.fetches_saved >= 5 * single.n_candidates - 5

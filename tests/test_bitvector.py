@@ -19,6 +19,16 @@ bit_arrays = st.integers(min_value=1, max_value=300).flatmap(
     lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n)
 )
 
+bit_matrices = st.tuples(
+    st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=150)
+).flatmap(
+    lambda shape: st.lists(
+        st.lists(st.integers(0, 1), min_size=shape[1], max_size=shape[1]),
+        min_size=shape[0],
+        max_size=shape[0],
+    )
+)
+
 
 class TestNWords:
     def test_exact_multiple(self):
@@ -80,6 +90,34 @@ class TestPackUnpack:
         words = pack_bits(arr)
         total_ones = int(np.bitwise_count(words).sum())
         assert total_ones == int(arr.sum())
+
+    @given(bit_matrices)
+    @settings(max_examples=50)
+    def test_matrix_roundtrip(self, rows):
+        """Packing a whole matrix of rows == packing each row alone."""
+        arr = np.array(rows, dtype=np.uint8)
+        words = pack_bits(arr)
+        assert np.array_equal(unpack_bits(words, arr.shape[1]), arr)
+        for i, row in enumerate(arr):
+            assert np.array_equal(words[i], pack_bits(row))
+
+    @given(bit_arrays, bit_arrays)
+    @settings(max_examples=40)
+    def test_popcount_linear_under_concatenation(self, left, right):
+        """popcount(pack(a ++ b)) == popcount(pack(a)) + popcount(pack(b)).
+
+        The packed representation must not create or lose one-bits at
+        the seam (padding words stay zero), which is what lets the
+        batch kernels treat a packed matrix as independent rows.
+        """
+        a = np.array(left, dtype=np.uint8)
+        b = np.array(right, dtype=np.uint8)
+        joined = pack_bits(np.concatenate([a, b]))
+        ones = int(np.bitwise_count(joined).sum())
+        ones_split = int(np.bitwise_count(pack_bits(a)).sum()) + int(
+            np.bitwise_count(pack_bits(b)).sum()
+        )
+        assert ones == ones_split
 
 
 class TestComplement:

@@ -9,8 +9,11 @@ from repro.hamming.bitvector import complement, pack_bits
 from repro.hamming.distance import (
     hamming_distance,
     hamming_distance_many,
+    hamming_distance_matrix,
+    hamming_distance_pairs,
     hamming_similarity,
     hamming_similarity_many,
+    hamming_similarity_matrix,
 )
 
 
@@ -22,6 +25,31 @@ def _pair(n):
 
 
 pairs = st.integers(min_value=1, max_value=200).flatmap(_pair)
+
+
+def _matrix(n_rows, width):
+    return st.lists(
+        st.lists(st.integers(0, 1), min_size=width, max_size=width),
+        min_size=n_rows,
+        max_size=n_rows,
+    )
+
+
+#: Two packed matrices of a shared width: (A, W) and (B, W).
+matrix_pairs = st.tuples(
+    st.integers(1, 6), st.integers(1, 6), st.integers(1, 150)
+).flatmap(
+    lambda dims: st.tuples(
+        _matrix(dims[0], dims[2]), _matrix(dims[1], dims[2])
+    )
+)
+
+#: Two equal-shape matrices: row-aligned pair lists for the gather kernel.
+aligned_pairs = st.tuples(st.integers(1, 8), st.integers(1, 150)).flatmap(
+    lambda dims: st.tuples(
+        _matrix(dims[0], dims[1]), _matrix(dims[0], dims[1])
+    )
+)
 
 
 class TestHammingDistance:
@@ -128,3 +156,116 @@ class TestHammingSimilarity:
         assert hamming_similarity(a, b, t) == pytest.approx(
             1.0 - hamming_distance(a, b) / t
         )
+
+
+class TestHammingDistanceMatrix:
+    """The (A, B) all-pairs kernel behind the batch query path."""
+
+    def test_known_values(self):
+        a = pack_bits(np.array([[1, 0, 1], [0, 0, 0]], dtype=np.uint8))
+        b = pack_bits(np.array([[1, 1, 1], [1, 0, 1]], dtype=np.uint8))
+        assert hamming_distance_matrix(a, b).tolist() == [[1, 0], [3, 2]]
+
+    def test_shape_validation(self):
+        a = np.zeros((2, 1), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            hamming_distance_matrix(a, np.zeros(1, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            hamming_distance_matrix(a, np.zeros((2, 2), dtype=np.uint64))
+
+    def test_empty_sides(self):
+        a = np.empty((0, 1), dtype=np.uint64)
+        b = np.zeros((3, 1), dtype=np.uint64)
+        assert hamming_distance_matrix(a, b).shape == (0, 3)
+        assert hamming_distance_matrix(b, a).shape == (3, 0)
+
+    @given(matrix_pairs)
+    @settings(max_examples=40)
+    def test_matches_per_pair_scalar(self, mats):
+        """Batched == every pairwise scalar distance, exactly."""
+        a_bits, b_bits = mats
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        got = hamming_distance_matrix(a, b)
+        for i in range(a.shape[0]):
+            for j in range(b.shape[0]):
+                assert got[i, j] == hamming_distance(a[i], b[j])
+
+    @given(matrix_pairs)
+    @settings(max_examples=20)
+    def test_similarity_matrix_consistent(self, mats):
+        a_bits, b_bits = mats
+        t = len(a_bits[0])
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        sims = hamming_similarity_matrix(a, b, t)
+        dists = hamming_distance_matrix(a, b)
+        assert np.allclose(sims, 1.0 - dists / t)
+
+
+class TestHammingDistancePairs:
+    """The row-aligned gather kernel used by batched verification."""
+
+    def test_known_values(self):
+        a = pack_bits(np.array([[1, 0, 1], [0, 0, 0]], dtype=np.uint8))
+        b = pack_bits(np.array([[1, 1, 1], [1, 0, 1]], dtype=np.uint8))
+        assert hamming_distance_pairs(a, b).tolist() == [1, 2]
+
+    def test_shape_validation(self):
+        a = np.zeros((2, 1), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            hamming_distance_pairs(a, np.zeros((3, 1), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            hamming_distance_pairs(a[0], a[0])
+
+    def test_empty(self):
+        a = np.empty((0, 2), dtype=np.uint64)
+        assert hamming_distance_pairs(a, a).shape == (0,)
+
+    @given(aligned_pairs)
+    @settings(max_examples=40)
+    def test_matches_per_row_scalar(self, mats):
+        a_bits, b_bits = mats
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        got = hamming_distance_pairs(a, b)
+        for i in range(a.shape[0]):
+            assert got[i] == hamming_distance(a[i], b[i])
+
+    @given(aligned_pairs)
+    @settings(max_examples=20)
+    def test_diagonal_of_matrix_kernel(self, mats):
+        """pairs(a, b) == diag(matrix(a, b)): the two kernels agree."""
+        a_bits, b_bits = mats
+        a = pack_bits(np.array(a_bits, dtype=np.uint8))
+        b = pack_bits(np.array(b_bits, dtype=np.uint8))
+        assert np.array_equal(
+            hamming_distance_pairs(a, b),
+            np.diagonal(hamming_distance_matrix(a, b)),
+        )
+
+    @given(aligned_pairs, aligned_pairs)
+    @settings(max_examples=30)
+    def test_linear_under_concatenation(self, left, right):
+        """d(a1 ++ a2, b1 ++ b2) == d(a1, b1) + d(a2, b2) per row.
+
+        Concatenating the *bit* strings of two aligned pair lists (the
+        rows are padded independently, so the packed words are simply
+        re-packed from the joined bits) adds the distances exactly --
+        the property that lets the verifier treat the k codeword blocks
+        of a signature as one flat vector.
+        """
+        (a1_bits, b1_bits) = left
+        (a2_bits, b2_bits) = right
+        n = min(len(a1_bits), len(a2_bits))
+        a1 = np.array(a1_bits[:n], dtype=np.uint8)
+        b1 = np.array(b1_bits[:n], dtype=np.uint8)
+        a2 = np.array(a2_bits[:n], dtype=np.uint8)
+        b2 = np.array(b2_bits[:n], dtype=np.uint8)
+        joined_a = pack_bits(np.concatenate([a1, a2], axis=1))
+        joined_b = pack_bits(np.concatenate([b1, b2], axis=1))
+        joined = hamming_distance_pairs(joined_a, joined_b)
+        split = hamming_distance_pairs(
+            pack_bits(a1), pack_bits(b1)
+        ) + hamming_distance_pairs(pack_bits(a2), pack_bits(b2))
+        assert np.array_equal(joined, split)

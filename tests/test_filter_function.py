@@ -144,3 +144,90 @@ class TestFilterFunctionObject:
         ff = FilterFunction(r=2, l=2)
         with pytest.raises(AttributeError):
             ff.r = 3
+
+
+class TestEmpiricalConformance:
+    """A real SFI's collision rate must track p_{r,l}(s) (Eq. 4).
+
+    The analytical filter function is the load-bearing model: the
+    optimizer sizes every filter with it.  Here we *measure* the
+    collision probability of an actual
+    :class:`~repro.core.filter_index.SimilarityFilterIndex` on pairs
+    of packed vectors with controlled Hamming similarity and assert
+    the empirical rate stays within a binomial confidence bound of the
+    model (plus a small slack for sampling bit positions without
+    replacement, which the s^r model idealizes).  Everything is
+    seeded, so the test is deterministic.
+    """
+
+    N_BITS = 256
+    N_PAIRS = 300
+    SIM_POINTS = (0.30, 0.50, 0.70, 0.85, 0.95)
+
+    @staticmethod
+    def _controlled_pairs(n_bits, n_pairs, similarity, rng):
+        """Query/stored bit matrices agreeing in an exact bit count."""
+        d = int(round((1.0 - similarity) * n_bits))
+        query_bits = rng.integers(0, 2, size=(n_pairs, n_bits), dtype=np.uint8)
+        stored_bits = query_bits.copy()
+        positions = rng.permuted(
+            np.tile(np.arange(n_bits), (n_pairs, 1)), axis=1
+        )[:, :d]
+        rows = np.repeat(np.arange(n_pairs), d)
+        stored_bits[rows, positions.ravel()] ^= 1
+        return query_bits, stored_bits, 1.0 - d / n_bits
+
+    def _measure(self, threshold, n_tables, seed):
+        """Empirical collision rate per similarity point, plus (r, l)."""
+        from repro.core.filter_index import SimilarityFilterIndex
+        from repro.hamming.bitvector import pack_bits
+        from repro.storage.iomodel import IOCostModel
+        from repro.storage.pager import PageManager
+
+        rng = np.random.default_rng(seed)
+        rates = {}
+        r = l = None
+        for similarity in self.SIM_POINTS:
+            sfi = SimilarityFilterIndex(
+                threshold=threshold,
+                n_tables=n_tables,
+                n_bits=self.N_BITS,
+                pager=PageManager(IOCostModel()),
+                expected_entries=self.N_PAIRS,
+                seed=seed,
+            )
+            r, l = sfi.filter.r, sfi.filter.l
+            query_bits, stored_bits, s_exact = self._controlled_pairs(
+                self.N_BITS, self.N_PAIRS, similarity, rng
+            )
+            sids = list(range(self.N_PAIRS))
+            sfi.insert_many(pack_bits(stored_bits), sids)
+            per_query = sfi.probe_batch(pack_bits(query_bits))
+            hits = sum(1 for sid, got in enumerate(per_query) if sid in got)
+            rates[s_exact] = hits / self.N_PAIRS
+        return rates, r, l
+
+    @pytest.mark.parametrize(
+        "threshold,n_tables,seed", [(0.8, 8, 42), (0.6, 4, 99)]
+    )
+    def test_collision_rate_tracks_model(self, threshold, n_tables, seed):
+        rates, r, l = self._measure(threshold, n_tables, seed)
+        for s_exact, empirical in rates.items():
+            expected = filter_probability(s_exact, r, l)
+            # 4 sigma of the binomial estimator + modelling slack for
+            # without-replacement bit sampling.
+            bound = 4.0 * np.sqrt(
+                max(expected * (1 - expected), 1e-4) / self.N_PAIRS
+            ) + 0.03
+            assert abs(empirical - expected) <= bound, (
+                f"s={s_exact:.3f}: empirical {empirical:.3f} vs "
+                f"p_{{{r},{l}}} = {expected:.3f} (bound {bound:.3f})"
+            )
+
+    def test_collision_rate_monotone_in_similarity(self):
+        rates, _, _ = self._measure(0.8, 8, seed=7)
+        ordered = [rates[s] for s in sorted(rates)]
+        # Binomial noise allows tiny inversions; the trend must hold.
+        for lower, upper in zip(ordered, ordered[1:]):
+            assert upper >= lower - 0.05
+        assert ordered[-1] > ordered[0]

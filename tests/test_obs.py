@@ -122,6 +122,57 @@ class TestSpan:
         assert not trace.is_active()
 
 
+class TestJsonableAttrs:
+    """Serialization of span attributes (the ``_jsonable`` helper).
+
+    Regression coverage for the duck-typing bug where *any* object
+    with an ``item`` attribute was mistaken for a numpy scalar and had
+    ``.item()`` called on it during serialization.
+    """
+
+    @staticmethod
+    def _serialize(**attrs):
+        with trace.capture("root", force=True, **attrs) as root:
+            pass
+        return json.loads(json.dumps(root.to_dict()))["attrs"]
+
+    def test_object_with_item_method_is_not_called(self):
+        class Itemful:
+            def item(self):  # pragma: no cover - must never run
+                raise AssertionError("item() must not be called")
+
+            def __repr__(self):
+                return "Itemful()"
+
+        attrs = self._serialize(value=Itemful())
+        assert attrs["value"] == "Itemful()"
+
+    def test_numpy_scalar_unwrapped(self):
+        import numpy as np
+
+        attrs = self._serialize(count=np.int64(7), share=np.float32(0.25))
+        assert attrs["count"] == 7
+        assert attrs["share"] == pytest.approx(0.25)
+
+    def test_numpy_array_becomes_list(self):
+        import numpy as np
+
+        attrs = self._serialize(
+            vec=np.array([1, 2, 3], dtype=np.int64),
+            zero_d=np.array(5.0),
+        )
+        assert attrs["vec"] == [1, 2, 3]
+        assert attrs["zero_d"] == 5.0
+
+    def test_containers_recurse(self):
+        import numpy as np
+
+        attrs = self._serialize(
+            nested={"a": np.int32(1), "b": [np.float64(2.0), {3, 1}]}
+        )
+        assert attrs["nested"] == {"a": 1, "b": [2.0, [1, 3]]}
+
+
 class TestMetrics:
     def test_counter(self):
         c = Counter("c")
