@@ -155,7 +155,7 @@ class BandingIndex:
         n = signatures.shape[0]
         if n == 0:
             return []
-        saved_before = _PAGES_SAVED.value
+        saved_before = _PAGES_SAVED.local_value
         with trace.span(
             "banding_probe_batch",
             s_star=self.threshold,
@@ -175,7 +175,7 @@ class BandingIndex:
                 sp.set(
                     tables_probed=self.n_tables,
                     candidates=sum(len(s) for s in sids),
-                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    pages_saved=_PAGES_SAVED.local_value - saved_before,
                     _sids_per_query=sids,
                 )
             return sids

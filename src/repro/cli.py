@@ -14,7 +14,10 @@ prints one ``sid<TAB>similarity`` line per answer; with ``--explain``
 it appends the traced plan tree.  Repeating ``--set`` (or giving
 ``--sets-file``) runs all query sets as one *batch* through
 ``query_batch`` -- shared bucket reads, one fetch per distinct
-candidate -- printing ``query_index<TAB>sid<TAB>similarity`` lines.  ``explain`` runs the query purely
+candidate -- printing ``query_index<TAB>sid<TAB>similarity`` lines.
+``--workers N`` serves the batch from a frozen snapshot
+(``index.freeze()``) on ``N`` threads; answers and simulated costs are
+identical at any worker count.  ``explain`` runs the query purely
 for its plan tree (or structured JSON with ``--json``).  ``-v``/``-vv``
 raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
 """
@@ -98,10 +101,23 @@ def cmd_query(args: argparse.Namespace) -> int:
         )
         trace_root = result.trace
     else:
-        batch = index.query_batch(
-            query_sets, args.low, args.high,
-            strategy=args.strategy, explain=explain,
-        )
+        if args.workers > 1:
+            from repro.exec import ParallelExecutor
+
+            snapshot = index.freeze()
+            try:
+                with ParallelExecutor(snapshot, workers=args.workers) as ex:
+                    batch = ex.query_batch(
+                        query_sets, args.low, args.high,
+                        strategy=args.strategy, explain=explain,
+                    )
+            finally:
+                index.thaw()
+        else:
+            batch = index.query_batch(
+                query_sets, args.low, args.high,
+                strategy=args.strategy, explain=explain,
+            )
         for i, result in enumerate(batch.results):
             for sid, similarity in result.answers:
                 print(f"{i}\t{sid}\t{similarity:.4f}")
@@ -224,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--explain-json", action="store_true",
         help="trace the query and append the EXPLAIN JSON",
+    )
+    p_query.add_argument(
+        "--workers", type=int, default=1,
+        help="serve a batch from a frozen snapshot on this many threads "
+             "(results and accounting are identical at any count)",
     )
     p_query.set_defaults(func=cmd_query)
 

@@ -48,6 +48,26 @@ _TABLE_CANDIDATES = metrics.histogram("sfi.table_candidates")
 _PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
 
 
+def record_batch_probe_counters(
+    kind: str, n_queries: int, unique: int, collisions: int
+) -> None:
+    """Apply the filter-level counter deltas of one batched probe.
+
+    Shared by the live ``probe_batch`` paths and the frozen-snapshot
+    executor so both move ``sfi.*``/``dfi.*`` identically.  A DFI probe
+    also moves the SFI counters (the live DFI delegates to its inner
+    SFI), so ``kind="dfi"`` records both families.
+    """
+    if kind == "dfi":
+        _DFI_BATCHES.inc()
+        _DFI_PROBES.inc(n_queries)
+        _DFI_CANDIDATES.inc(unique)
+    _SFI_BATCHES.inc()
+    _SFI_PROBES.inc(n_queries)
+    _SFI_CANDIDATES.inc(unique)
+    _SFI_DUPLICATES.inc(collisions)
+
+
 class SimilarityFilterIndex:
     """``SFI(s*)``: retrieves vectors at least ``s*``-Hamming-similar.
 
@@ -147,9 +167,9 @@ class SimilarityFilterIndex:
                 got = table.probe(sampler.key(query))
                 total += len(got)
                 sids.update(got)
-            _SFI_PROBES.value += 1
-            _SFI_CANDIDATES.value += len(sids)
-            _SFI_DUPLICATES.value += total - len(sids)
+            _SFI_PROBES.inc()
+            _SFI_CANDIDATES.inc(len(sids))
+            _SFI_DUPLICATES.inc(total - len(sids))
             return sids
         with trace.span(
             "sfi_probe",
@@ -192,7 +212,7 @@ class SimilarityFilterIndex:
         n = matrix.shape[0]
         if n == 0:
             return []
-        saved_before = _PAGES_SAVED.value
+        saved_before = _PAGES_SAVED.local_value
         with trace.span(
             "sfi_probe_batch",
             s_star=self.threshold,
@@ -207,17 +227,14 @@ class SimilarityFilterIndex:
                 for i, got in enumerate(table.probe_many(sampler.keys(matrix))):
                     totals[i] += len(got)
                     sids[i].update(got)
-            _SFI_BATCHES.value += 1
-            _SFI_PROBES.value += n
             unique = sum(len(s) for s in sids)
-            _SFI_CANDIDATES.value += unique
-            _SFI_DUPLICATES.value += sum(totals) - unique
+            record_batch_probe_counters("sfi", n, unique, sum(totals) - unique)
             if sp.recording:
                 sp.set(
                     tables_probed=len(self._tables),
                     candidates=unique,
                     collisions=sum(totals) - unique,
-                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    pages_saved=_PAGES_SAVED.local_value - saved_before,
                     _sids_per_query=sids,
                 )
             return sids
@@ -251,6 +268,18 @@ class SimilarityFilterIndex:
         if detail:
             stats["tables"] = per_table
         return stats
+
+    def freeze(self) -> "FrozenFilterProbe":
+        """Read-only probe view with all bucket directories pre-built."""
+        return FrozenFilterProbe(
+            kind="sfi",
+            threshold=self.threshold,
+            sigma_point=getattr(self, "sigma_point", None),
+            r=self.filter.r,
+            n_bits=self.n_bits,
+            samplers=list(self._samplers),
+            tables=[table.freeze() for table in self._tables],
+        )
 
     def __repr__(self) -> str:
         return (
@@ -316,8 +345,8 @@ class DissimilarityFilterIndex:
         """``DissimVector(s*, q)``: probe the inner SFI with ``~q``."""
         if not trace.is_active():
             sids = self._sfi.probe(complement(query, self.n_bits))
-            _DFI_PROBES.value += 1
-            _DFI_CANDIDATES.value += len(sids)
+            _DFI_PROBES.inc()
+            _DFI_CANDIDATES.inc(len(sids))
             return sids
         with trace.span(
             "dfi_probe",
@@ -341,7 +370,7 @@ class DissimilarityFilterIndex:
         n = matrix.shape[0]
         if n == 0:
             return []
-        saved_before = _PAGES_SAVED.value
+        saved_before = _PAGES_SAVED.local_value
         with trace.span(
             "dfi_probe_batch",
             s_star=self.threshold,
@@ -351,15 +380,15 @@ class DissimilarityFilterIndex:
             n_queries=n,
         ) as sp:
             sids = self._sfi.probe_batch(complement(matrix, self.n_bits))
-            _DFI_BATCHES.value += 1
-            _DFI_PROBES.value += n
+            _DFI_BATCHES.inc()
+            _DFI_PROBES.inc(n)
             unique = sum(len(s) for s in sids)
-            _DFI_CANDIDATES.value += unique
+            _DFI_CANDIDATES.inc(unique)
             if sp.recording:
                 sp.set(
                     tables_probed=self.n_tables,
                     candidates=unique,
-                    pages_saved=_PAGES_SAVED.value - saved_before,
+                    pages_saved=_PAGES_SAVED.local_value - saved_before,
                     _sids_per_query=sids,
                 )
             return sids
@@ -368,8 +397,61 @@ class DissimilarityFilterIndex:
         """Occupancy statistics of the underlying tables (see SFI)."""
         return self._sfi.table_stats(detail=detail)
 
+    def freeze(self) -> "FrozenFilterProbe":
+        """Read-only probe view; queries must be complemented (see SFI)."""
+        inner = self._sfi.freeze()
+        return FrozenFilterProbe(
+            kind="dfi",
+            threshold=self.threshold,
+            sigma_point=self.sigma_point,
+            r=self.r,
+            n_bits=self.n_bits,
+            samplers=inner.samplers,
+            tables=inner.tables,
+            complement_query=True,
+        )
+
     def __repr__(self) -> str:
         return (
             f"DissimilarityFilterIndex(threshold={self.threshold:.3f}, "
             f"l={self.n_tables}, r={self.r})"
         )
+
+
+class FrozenFilterProbe:
+    """Immutable batch-probe image of one SFI or DFI.
+
+    Holds the filter's bit samplers plus one
+    :class:`~repro.storage.hashtable.FrozenTableView` per hash table.
+    Probing is table-granular so a parallel executor can shard one
+    filter's ``l`` tables across workers; each table probe charges its
+    page reads into the caller's :class:`~repro.storage.iomodel.IOStats`
+    with accounting identical to the live ``probe_batch``.
+
+    ``complement_query`` marks DFI views: the caller must pass the
+    *complemented* query matrix (Theorem 2), computed once per batch
+    rather than once per table.
+    """
+
+    __slots__ = ("kind", "threshold", "sigma_point", "r", "n_bits",
+                 "samplers", "tables", "complement_query")
+
+    def __init__(self, kind, threshold, sigma_point, r, n_bits,
+                 samplers, tables, complement_query=False):
+        self.kind = kind
+        self.threshold = threshold
+        self.sigma_point = sigma_point
+        self.r = r
+        self.n_bits = n_bits
+        self.samplers = samplers
+        self.tables = tables
+        self.complement_query = complement_query
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    def probe_table(self, t: int, matrix: np.ndarray, io) -> list[list[int]]:
+        """Probe table ``t`` with every row of the (pre-complemented for
+        DFIs) packed query matrix; page charges go to ``io``."""
+        return self.tables[t].probe_many(self.samplers[t].keys(matrix), io)

@@ -46,6 +46,17 @@ _BATCH_FETCHES_SAVED = metrics.counter("query.batch_fetches_saved")
 _BATCH_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
 
 
+class FrozenIndexError(RuntimeError):
+    """Mutation of a frozen index, or a freeze the index cannot honor.
+
+    A :meth:`SetSimilarityIndex.freeze` snapshot shares the index's
+    bucket directories and packed vectors by reference; any
+    insert/delete while a snapshot is live would silently corrupt it,
+    so mutation raises this instead.  Call
+    :meth:`SetSimilarityIndex.thaw` first.
+    """
+
+
 @dataclass
 class QueryResult:
     """Outcome of one similarity range query.
@@ -114,6 +125,11 @@ class BatchQueryResult:
     pages_saved: int = 0
     fetches_saved: int = 0
     trace: Span | None = field(default=None, repr=False, compare=False)
+    #: Executor-side timing detail (per-stage task durations, worker
+    #: count) when the batch ran through a
+    #: :class:`~repro.exec.parallel.ParallelExecutor`; None otherwise.
+    #: Wall-clock only -- excluded from equality like ``trace``.
+    exec_stats: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_queries(self) -> int:
@@ -184,9 +200,21 @@ class SetSimilarityIndex:
         self.store = store
         self._vectors: dict[int, np.ndarray] = {}
         self._sizes: dict[int, int] = {}
+        # Columnar verification state: per sid the sorted uint64
+        # element-hash array, plus the sids whose array is unusable
+        # because two distinct elements collided (exact fallback).
+        self._chashes: dict[int, np.ndarray] = {}
+        self._cfallback: set[int] = set()
         self._sfis: dict[float, SimilarityFilterIndex] = {}
         self._dfis: dict[float, DissimilarityFilterIndex] = {}
         self._planner = None
+        self._frozen = None
+
+    #: Verify candidates with the vectorized sorted-hash kernels
+    #: (:mod:`repro.exec.columnar`).  Set False on an instance to force
+    #: the legacy per-candidate ``frozenset`` loop -- same answers and
+    #: accounting, slower wall clock (kept for benchmarking).
+    columnar_verify = True
 
     # -- construction ------------------------------------------------------
 
@@ -258,6 +286,7 @@ class SetSimilarityIndex:
             for sid, row, elements in zip(sids, matrix, sets):
                 index._vectors[sid] = row
                 index._sizes[sid] = len(elements)
+                index._set_chash(sid, elements)
             for fi in index._all_filters():
                 fi.insert_many(matrix, sids)
         logger.debug(
@@ -289,32 +318,92 @@ class SetSimilarityIndex:
         yield from self._sfis.values()
         yield from self._dfis.values()
 
+    def _set_chash(self, sid: int, elements) -> None:
+        """Maintain the columnar hash array (and fallback flag) for a set."""
+        from repro.exec.columnar import hash_set
+
+        arr, collided = hash_set(elements)
+        self._chashes[sid] = arr
+        if collided:
+            self._cfallback.add(sid)
+
     # -- dynamic maintenance -------------------------------------------------
 
+    def _invalidate(self) -> None:
+        """Mutation entry point: refuse while frozen, else drop derived
+        state (the cached cost-based planner)."""
+        if self._frozen is not None:
+            raise FrozenIndexError(
+                "index is frozen by an active snapshot; call thaw() "
+                "before insert/delete"
+            )
+        self._planner = None
+
     def insert(self, elements: Iterable) -> int:
-        """Add a set to the collection and all filter structures."""
+        """Add a set to the collection and all filter structures.
+
+        Raises :class:`FrozenIndexError` while a :meth:`freeze` snapshot
+        is active.
+        """
+        self._invalidate()
         stored = frozenset(elements)
         sid = self.store.insert(stored)
         vector = self.embedder.embed(stored)
         self._vectors[sid] = vector
         self._sizes[sid] = len(stored)
-        self._planner = None
+        self._set_chash(sid, stored)
         for fi in self._all_filters():
             fi.insert(vector, sid)
         logger.debug("inserted sid=%d (%d elements)", sid, len(stored))
         return sid
 
     def delete(self, sid: int) -> None:
-        """Remove a set from the collection and all filter structures."""
-        vector = self._vectors.pop(sid, None)
-        if vector is None:
+        """Remove a set from the collection and all filter structures.
+
+        Raises :class:`FrozenIndexError` while a :meth:`freeze` snapshot
+        is active.
+        """
+        if sid not in self._vectors:
             raise KeyError(f"unknown sid: {sid}")
+        self._invalidate()
+        vector = self._vectors.pop(sid)
         self._sizes.pop(sid, None)
-        self._planner = None
+        self._chashes.pop(sid, None)
+        self._cfallback.discard(sid)
         for fi in self._all_filters():
             fi.delete(vector, sid)
         self.store.delete(sid)
         logger.debug("deleted sid=%d", sid)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def freeze(self):
+        """Produce (and pin) a read-only :class:`~repro.exec.snapshot.IndexSnapshot`.
+
+        The snapshot pre-builds every bucket directory, packs the
+        stored vectors into one matrix and materializes the columnar
+        CSR verification layout, so it can serve ``query_batch`` from
+        many threads (see :class:`~repro.exec.parallel.ParallelExecutor`)
+        with accounting identical to this index's sequential path.
+        While frozen, :meth:`insert`/:meth:`delete` raise
+        :class:`FrozenIndexError`; call :meth:`thaw` to resume
+        mutation (existing snapshots must then be discarded).
+        Repeated calls return the same snapshot.
+        """
+        if self._frozen is None:
+            from repro.exec.snapshot import IndexSnapshot
+
+            self._frozen = IndexSnapshot.from_index(self)
+        return self._frozen
+
+    def thaw(self) -> None:
+        """Release the active snapshot and allow mutation again."""
+        self._frozen = None
+
+    @property
+    def frozen(self) -> bool:
+        """Whether a :meth:`freeze` snapshot is currently active."""
+        return self._frozen is not None
 
     @property
     def n_sets(self) -> int:
@@ -514,7 +603,7 @@ class SetSimilarityIndex:
         if strategy == "auto":
             strategy = self.planner().choose(sigma_low, sigma_high)
         query_sets = [frozenset(q) for q in queries]
-        saved_before = _BATCH_PAGES_SAVED.value
+        saved_before = _BATCH_PAGES_SAVED.local_value
         with trace.capture(
             "query_batch",
             io=self.io,
@@ -545,7 +634,7 @@ class SetSimilarityIndex:
                     0, len(query_sets) - 1
                 )
             else:
-                pages_saved = _BATCH_PAGES_SAVED.value - saved_before
+                pages_saved = _BATCH_PAGES_SAVED.local_value - saved_before
             batch = BatchQueryResult(
                 results=[
                     QueryResult(
@@ -723,15 +812,16 @@ class SetSimilarityIndex:
     ) -> tuple[list[list[tuple[int, float]]], int]:
         """Fetch each distinct candidate once and verify all pairs.
 
-        The packed Hamming kernel estimates every (query, candidate)
-        pair's similarity in one matrix popcount; the estimates order
-        each query's verification (likely answers first) and feed the
-        batch trace aggregates.  Membership is decided by exact Jaccard
-        on the fetched sets, as in :meth:`_verify`, and accounted CPU
-        per pair is identical to the single-query path.
+        Verification is columnar by default (:attr:`columnar_verify`):
+        each query's whole candidate list is decided by one vectorized
+        sorted-hash intersection (:mod:`repro.exec.columnar`), with the
+        packed Hamming kernel estimating pair similarities only when a
+        trace is recording (the ``est_in_range`` EXPLAIN aggregate).
+        The legacy path instead estimates every pair and verifies
+        most-promising-first with per-pair exact Jaccard.  Both decide
+        membership by exact Jaccard, produce identical answers, and
+        charge accounted CPU identical to the single-query path.
         """
-        from repro.hamming.distance import hamming_distance_pairs
-
         n_pairs = sum(len(c) for c in candidates_list)
         with trace.span(
             "verify_batch",
@@ -741,72 +831,25 @@ class SetSimilarityIndex:
             distinct = sorted(set().union(*candidates_list)) if candidates_list else []
             fetched = {sid: self.store.get(sid) for sid in distinct}
             fetches_saved = n_pairs - len(distinct)
-            # One popcount kernel for all (query, candidate) pairs of
-            # the batch: gather the pair rows and compute every
-            # estimated similarity at once, converted to Jaccard
-            # estimates in one vectorized pass (wall-clock work only;
-            # not accounted as simulated CPU, which stays identical to
-            # the query loop).
-            row_of = {i: row for row, i in enumerate(rows)}
-            cand_lists: list[list[int] | None] = [None] * len(query_sets)
-            pair_vals: np.ndarray | None = None
-            offsets: list[int] = []
-            if rows and distinct:
-                cand_matrix = np.stack([self._vectors[sid] for sid in distinct])
-                col = {sid: j for j, sid in enumerate(distinct)}
-                q_rows: list[int] = []
-                c_cols: list[int] = []
-                offset = 0
-                for i, candidates in enumerate(candidates_list):
-                    row = row_of.get(i)
-                    if row is None or not candidates:
-                        offsets.append(offset)
-                        continue
-                    cand_list = list(candidates)
-                    cand_lists[i] = cand_list
-                    q_rows.extend([row] * len(cand_list))
-                    c_cols.extend(col[sid] for sid in cand_list)
-                    offsets.append(offset)
-                    offset += len(cand_list)
-                if q_rows:
-                    dists = hamming_distance_pairs(
-                        matrix[q_rows], cand_matrix[c_cols]
+            if self.columnar_verify:
+                answers_list = [
+                    self._columnar_answers(
+                        query_set, candidates, sigma_low, sigma_high, fetched
                     )
-                    sims = 1.0 - dists / self.embedder.dimension
-                    # Vectorized hamming_to_jaccard (with the embedding
-                    # module's fixed-precision collision-bias correction).
-                    collide = 2.0 ** (-self.embedder.b)
-                    pair_vals = np.clip(
-                        (2.0 * sims - 1.0 - collide) / (1.0 - collide),
-                        0.0, 1.0,
+                    for query_set, candidates in zip(query_sets, candidates_list)
+                ]
+                est_in_range = (
+                    self._estimate_in_range(
+                        candidates_list, distinct, matrix, rows,
+                        sigma_low, sigma_high,
                     )
-            answers_list: list[list[tuple[int, float]]] = []
-            est_in_range = 0
-            for i, (query_set, candidates) in enumerate(
-                zip(query_sets, candidates_list)
-            ):
-                cand_list = cand_lists[i]
-                if cand_list is None or pair_vals is None:
-                    ordered = sorted(candidates)
-                else:
-                    vals = pair_vals[offsets[i]:offsets[i] + len(cand_list)]
-                    est_in_range += int(
-                        ((sigma_low <= vals) & (vals <= sigma_high)).sum()
-                    )
-                    # Verify most-promising first, ties by sid.
-                    ordered = [
-                        sid for _, sid in
-                        sorted(zip((-vals).tolist(), cand_list))
-                    ]
-                answers: list[tuple[int, float]] = []
-                for sid in ordered:
-                    stored = fetched[sid]
-                    self.io.cpu(len(stored) + len(query_set))
-                    similarity = jaccard(stored, query_set)
-                    if sigma_low <= similarity <= sigma_high:
-                        answers.append((sid, similarity))
-                answers.sort(key=lambda pair: (-pair[1], pair[0]))
-                answers_list.append(answers)
+                    if sp.recording else 0
+                )
+            else:
+                answers_list, est_in_range = self._verify_pairs_loop(
+                    query_sets, candidates_list, sigma_low, sigma_high,
+                    matrix, rows, fetched, distinct,
+                )
             n_verified = sum(len(a) for a in answers_list)
             sp.set(
                 n_candidates=len(distinct),
@@ -816,6 +859,119 @@ class SetSimilarityIndex:
                 est_in_range=est_in_range,
             )
             return answers_list, fetches_saved
+
+    def _pair_estimates(
+        self,
+        candidates_list: list[set[int]],
+        distinct: list[int],
+        matrix: np.ndarray | None,
+        rows: list[int],
+    ) -> tuple[np.ndarray | None, list[list[int] | None], list[int]]:
+        """Estimated Jaccard of every (query, candidate) pair at once.
+
+        One popcount kernel over the gathered pair rows; returns the
+        flat estimate array, each query's candidate ordering it was
+        computed over, and each query's offset into the flat array.
+        Wall-clock work only -- never accounted as simulated CPU.
+        """
+        from repro.hamming.distance import hamming_distance_pairs
+
+        row_of = {i: row for row, i in enumerate(rows)}
+        cand_lists: list[list[int] | None] = [None] * len(candidates_list)
+        pair_vals: np.ndarray | None = None
+        offsets: list[int] = []
+        if rows and distinct:
+            cand_matrix = np.stack([self._vectors[sid] for sid in distinct])
+            col = {sid: j for j, sid in enumerate(distinct)}
+            q_rows: list[int] = []
+            c_cols: list[int] = []
+            offset = 0
+            for i, candidates in enumerate(candidates_list):
+                row = row_of.get(i)
+                if row is None or not candidates:
+                    offsets.append(offset)
+                    continue
+                cand_list = list(candidates)
+                cand_lists[i] = cand_list
+                q_rows.extend([row] * len(cand_list))
+                c_cols.extend(col[sid] for sid in cand_list)
+                offsets.append(offset)
+                offset += len(cand_list)
+            if q_rows:
+                dists = hamming_distance_pairs(
+                    matrix[q_rows], cand_matrix[c_cols]
+                )
+                sims = 1.0 - dists / self.embedder.dimension
+                # Vectorized hamming_to_jaccard (with the embedding
+                # module's fixed-precision collision-bias correction).
+                collide = 2.0 ** (-self.embedder.b)
+                pair_vals = np.clip(
+                    (2.0 * sims - 1.0 - collide) / (1.0 - collide),
+                    0.0, 1.0,
+                )
+        return pair_vals, cand_lists, offsets
+
+    def _estimate_in_range(
+        self,
+        candidates_list: list[set[int]],
+        distinct: list[int],
+        matrix: np.ndarray | None,
+        rows: list[int],
+        sigma_low: float,
+        sigma_high: float,
+    ) -> int:
+        """How many pairs the Hamming estimate already places in range
+        (the ``est_in_range`` trace aggregate)."""
+        pair_vals, _, _ = self._pair_estimates(
+            candidates_list, distinct, matrix, rows
+        )
+        if pair_vals is None:
+            return 0
+        return int(((sigma_low <= pair_vals) & (pair_vals <= sigma_high)).sum())
+
+    def _verify_pairs_loop(
+        self,
+        query_sets: list[frozenset],
+        candidates_list: list[set[int]],
+        sigma_low: float,
+        sigma_high: float,
+        matrix: np.ndarray | None,
+        rows: list[int],
+        fetched: dict[int, frozenset],
+        distinct: list[int],
+    ) -> tuple[list[list[tuple[int, float]]], int]:
+        """Legacy per-pair verification (``columnar_verify=False``)."""
+        pair_vals, cand_lists, offsets = self._pair_estimates(
+            candidates_list, distinct, matrix, rows
+        )
+        answers_list: list[list[tuple[int, float]]] = []
+        est_in_range = 0
+        for i, (query_set, candidates) in enumerate(
+            zip(query_sets, candidates_list)
+        ):
+            cand_list = cand_lists[i]
+            if cand_list is None or pair_vals is None:
+                ordered = sorted(candidates)
+            else:
+                vals = pair_vals[offsets[i]:offsets[i] + len(cand_list)]
+                est_in_range += int(
+                    ((sigma_low <= vals) & (vals <= sigma_high)).sum()
+                )
+                # Verify most-promising first, ties by sid.
+                ordered = [
+                    sid for _, sid in
+                    sorted(zip((-vals).tolist(), cand_list))
+                ]
+            answers: list[tuple[int, float]] = []
+            for sid in ordered:
+                stored = fetched[sid]
+                self.io.cpu(len(stored) + len(query_set))
+                similarity = jaccard(stored, query_set)
+                if sigma_low <= similarity <= sigma_high:
+                    answers.append((sid, similarity))
+            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            answers_list.append(answers)
+        return answers_list, est_in_range
 
     def _annotate_batch_trace(self, root: Span, batch: BatchQueryResult) -> None:
         """Post-batch trace enrichment: totals on the root span plus
@@ -941,6 +1097,32 @@ class SetSimilarityIndex:
 
     # -- persistence ------------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Snapshots are derived, reference-sharing views; persist the
+        # index unfrozen rather than serializing one.
+        state["_frozen"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        """Unpickle, rebuilding state absent from older saved indexes.
+
+        Snapshots are never persisted (``_frozen`` resets to None), and
+        the columnar hash arrays are recomputed from the stored sets if
+        the file predates them -- without perturbing the I/O counters.
+        """
+        self.__dict__.update(state)
+        self._frozen = None
+        if "_chashes" not in state:
+            self._chashes = {}
+            self._cfallback = set()
+            saved = self.io.snapshot()
+            try:
+                for sid, stored in self.store.scan():
+                    self._set_chash(sid, stored)
+            finally:
+                self.io.stats = saved
+
     def save(self, path) -> None:
         """Persist the built index (structures, pages, vectors) to disk."""
         from repro.core.persistence import save_index
@@ -969,16 +1151,72 @@ class SetSimilarityIndex:
     ) -> list[tuple[int, float]]:
         """Fetch candidates from disk and keep exact in-range matches."""
         with trace.span("verify", n_candidates=len(candidates)) as sp:
-            answers: list[tuple[int, float]] = []
-            for sid in candidates:
-                stored = self.store.get(sid)
-                self.io.cpu(len(stored) + len(query_set))
-                similarity = jaccard(stored, query_set)
-                if sigma_low <= similarity <= sigma_high:
-                    answers.append((sid, similarity))
-            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+            if self.columnar_verify:
+                fetched = {sid: self.store.get(sid) for sid in sorted(candidates)}
+                answers = self._columnar_answers(
+                    query_set, candidates, sigma_low, sigma_high, fetched
+                )
+            else:
+                answers = []
+                for sid in candidates:
+                    stored = self.store.get(sid)
+                    self.io.cpu(len(stored) + len(query_set))
+                    similarity = jaccard(stored, query_set)
+                    if sigma_low <= similarity <= sigma_high:
+                        answers.append((sid, similarity))
+                answers.sort(key=lambda pair: (-pair[1], pair[0]))
             sp.set(
                 n_verified=len(answers),
                 false_positives=len(candidates) - len(answers),
             )
             return answers
+
+    def _columnar_answers(
+        self,
+        query_set: frozenset,
+        candidates: set[int],
+        sigma_low: float,
+        sigma_high: float,
+        fetched: dict[int, frozenset],
+    ) -> list[tuple[int, float]]:
+        """Exact in-range matches of one query via the columnar kernels.
+
+        Candidates must already be fetched (``fetched`` supplies the
+        actual sets for the rare hash-collision fallback); this charges
+        the same per-pair CPU the scalar loop charges and returns the
+        identically sorted answer list.
+        """
+        from repro.exec.columnar import (
+            SMALL_VERIFY_CUTOFF, build_csr, hash_set, in_range_answers,
+            intersect_counts, jaccard_values,
+        )
+
+        cand_list = sorted(candidates)
+        if not cand_list:
+            return []
+        if len(cand_list) <= SMALL_VERIFY_CUTOFF:
+            self.io.cpu(
+                sum(self._sizes[sid] for sid in cand_list)
+                + len(cand_list) * len(query_set)
+            )
+            values = [jaccard(fetched[sid], query_set) for sid in cand_list]
+            return in_range_answers(cand_list, values, sigma_low, sigma_high)
+        sizes = np.fromiter(
+            (self._sizes[sid] for sid in cand_list),
+            dtype=np.int64, count=len(cand_list),
+        )
+        # Identical accounted CPU to the scalar loop's per-pair
+        # ``cpu(len(stored) + len(query))`` charges, in one sum.
+        self.io.cpu(int(sizes.sum()) + len(cand_list) * len(query_set))
+        query_arr, query_collided = hash_set(query_set)
+        if query_collided:
+            values = [jaccard(fetched[sid], query_set) for sid in cand_list]
+        else:
+            indptr, data = build_csr([self._chashes[sid] for sid in cand_list])
+            inter = intersect_counts(query_arr, indptr, data)
+            values = jaccard_values(len(query_set), sizes, inter)
+            if self._cfallback:
+                for j, sid in enumerate(cand_list):
+                    if sid in self._cfallback:
+                        values[j] = jaccard(fetched[sid], query_set)
+        return in_range_answers(cand_list, values, sigma_low, sigma_high)

@@ -151,6 +151,7 @@ class ExperimentHarness:
         queries: Sequence[RangeQuery],
         measure_scan: bool = True,
         collect_trace: bool = False,
+        workers: int = 1,
     ) -> list[QueryRecord]:
         """Execute a workload through the batched query path.
 
@@ -162,14 +163,41 @@ class ExperimentHarness:
         group's simulated time is amortized evenly over its queries
         (the per-query I/O split of a shared bucket read is arbitrary).
         Records are returned in workload order.
+
+        ``workers > 1`` freezes the index into a snapshot and serves
+        every group through :class:`repro.exec.ParallelExecutor` on
+        that many threads; answers and simulated costs are identical
+        to the sequential path at any worker count.
         """
+        executor = None
+        if workers > 1:
+            from repro.exec import ParallelExecutor
+
+            executor = ParallelExecutor(self.index.freeze(), workers=workers)
+        try:
+            return self._run_batch_groups(
+                queries, measure_scan, collect_trace, executor
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+                self.index.thaw()
+
+    def _run_batch_groups(
+        self,
+        queries: Sequence[RangeQuery],
+        measure_scan: bool,
+        collect_trace: bool,
+        executor,
+    ) -> list[QueryRecord]:
         groups: dict[tuple[float, float], list[int]] = {}
         for i, q in enumerate(queries):
             groups.setdefault((q.sigma_low, q.sigma_high), []).append(i)
         records: list[QueryRecord | None] = [None] * len(queries)
         for (lo, hi), members in groups.items():
             query_sets = [self.sets[queries[i].set_index] for i in members]
-            batch = self.index.query_batch(
+            engine = executor if executor is not None else self.index
+            batch = engine.query_batch(
                 query_sets, lo, hi, explain=collect_trace
             )
             share = 1.0 / max(1, len(members))

@@ -1,0 +1,32 @@
+"""Execution engine: frozen index snapshots and parallel batch queries.
+
+The live :class:`~repro.core.index.SetSimilarityIndex` mutates shared
+storage structures (bucket-directory memos, page chains, counters) even
+on read paths, so it cannot be probed from several threads at once.
+This package provides the serving-side counterpart:
+
+- :class:`~repro.exec.snapshot.IndexSnapshot` -- an immutable image of
+  a built index (``index.freeze()``) with every bucket directory
+  pre-built, vectors packed into one matrix, and stored sets in a
+  columnar CSR hash layout;
+- :class:`~repro.exec.parallel.ParallelExecutor` -- shards a query
+  batch over a worker thread pool against a snapshot, with
+  deterministic merges so answers, page counts and CPU accounting are
+  bit-identical to the sequential ``query_batch`` at any worker count;
+- :mod:`~repro.exec.columnar` -- the vectorized sorted-hash-array
+  kernels behind exact Jaccard verification (shared with the live
+  sequential path).
+"""
+
+from repro.exec.columnar import build_csr, hash_set, intersect_counts, jaccard_values
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.snapshot import IndexSnapshot
+
+__all__ = [
+    "IndexSnapshot",
+    "ParallelExecutor",
+    "build_csr",
+    "hash_set",
+    "intersect_counts",
+    "jaccard_values",
+]

@@ -1,0 +1,627 @@
+"""Parallel batch-query execution over a frozen index snapshot.
+
+:class:`ParallelExecutor` shards one ``query_batch`` across a worker
+thread pool in three stages -- embed (by query chunk), filter probe (by
+hash table), exact verify (by query chunk) -- against an
+:class:`~repro.exec.snapshot.IndexSnapshot`.  The heavy kernels
+(vectorized min-hash, packed Hamming popcounts, columnar sorted-hash
+intersection) are numpy calls that release the GIL, so the shards
+genuinely overlap on multi-core hosts.
+
+Determinism is the design center, not an afterthought:
+
+- every task charges simulated I/O into its **own**
+  :class:`~repro.storage.iomodel.IOStats`; module counters use their
+  per-thread shards (:mod:`repro.obs.metrics`).  Merges are integer
+  sums, so totals are independent of scheduling order;
+- probe work is sharded **by table**, never by splitting a batch's
+  keys: a bucket's page chain is read once per (filter, table) for the
+  whole batch regardless of worker count, which keeps page accounting
+  -- including ``pages_saved`` -- bit-identical to the sequential
+  grouped probe;
+- embedding a query chunk is a per-set pure function, so chunked
+  embeddings concatenate to exactly the full-batch matrix;
+- results are assembled by position, and all floating-point similarity
+  values come from the same kernels the sequential path uses.
+
+Consequently ``ParallelExecutor(snapshot, workers=w).query_batch(...)``
+returns answers, candidates, page counts and CPU accounting
+bit-identical to ``index.query_batch(...)`` for every ``w``.
+
+The executor also mirrors the sequential path's observability: the
+same ``query_batch`` / ``candidates_batch`` / ``*_probe_batch`` /
+``verify_batch`` span tree (so EXPLAIN and ``filter_summaries`` work
+unchanged), plus per-worker spans and a shard-merge summary under
+``parallel_exec``.  Simulated charges are applied to the index's cost
+model *inside* the matching spans at merge time, on the calling
+thread, so span I/O deltas remain exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.filter_index import record_batch_probe_counters
+from repro.core.index import BatchQueryResult, QueryResult
+from repro.hamming.bitvector import complement
+from repro.obs import metrics, trace
+from repro.storage.iomodel import IOStats
+
+_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
+
+# The same instruments the live query path reports to (same names ->
+# same registry objects), so executor batches show up in `repro stats`.
+_QUERIES = metrics.counter("query.count")
+_QUERY_CANDIDATES = metrics.counter("query.candidates")
+_QUERY_VERIFIED = metrics.counter("query.verified_hits")
+_QUERY_FALSE_POSITIVES = metrics.counter("query.false_positives")
+_CANDIDATES_PER_QUERY = metrics.histogram("query.candidates_per_query")
+_QUERY_BATCHES = metrics.counter("query.batches")
+_BATCH_SIZE = metrics.histogram("query.batch_size")
+_BATCH_FETCHES_SAVED = metrics.counter("query.batch_fetches_saved")
+_PARALLEL_BATCHES = metrics.counter("exec.parallel_batches")
+_PARALLEL_TASKS = metrics.counter("exec.parallel_tasks")
+
+
+def _apply(cost, io: IOStats) -> None:
+    """Fold one shard's accumulated charges into the live cost model."""
+    stats = cost.stats
+    stats.sequential_reads += io.sequential_reads
+    stats.random_reads += io.random_reads
+    stats.page_writes += io.page_writes
+    stats.cpu_ops += io.cpu_ops
+
+
+def _chunks(items: list, pieces: int) -> list[list]:
+    """Split into at most ``pieces`` contiguous, near-equal chunks."""
+    n = len(items)
+    pieces = max(1, min(pieces, n))
+    bounds = [n * p // pieces for p in range(pieces + 1)]
+    return [items[a:b] for a, b in zip(bounds, bounds[1:]) if b > a]
+
+
+class _Task:
+    """One unit of sharded work: stage label plus measured execution."""
+
+    __slots__ = ("stage", "label", "io", "seconds", "thread", "result", "extra")
+
+    def __init__(self, stage: str, label: str):
+        self.stage = stage
+        self.label = label
+        self.io = IOStats()
+        self.seconds = 0.0
+        self.thread = ""
+        self.result = None
+        self.extra = None
+
+
+class ParallelExecutor:
+    """Serves ``query_batch`` from a snapshot with a thread pool.
+
+    Parameters
+    ----------
+    snapshot:
+        A frozen :class:`~repro.exec.snapshot.IndexSnapshot`
+        (``index.freeze()``).
+    workers:
+        Thread-pool size.  Any value >= 1 produces bit-identical
+        results and accounting; it only changes wall-clock overlap.
+
+    Usable as a context manager; :meth:`close` shuts the pool down.
+    """
+
+    def __init__(self, snapshot, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.snapshot = snapshot
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-exec"
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- task plumbing -----------------------------------------------------
+
+    def _run_tasks(self, tasks: list[_Task], fns: list) -> None:
+        """Execute task bodies on the pool; each charges only its own
+        ``task.io`` and thread-local counter shards."""
+
+        def run(task: _Task, fn) -> None:
+            t0 = time.perf_counter()
+            task.result = fn(task)
+            task.seconds = time.perf_counter() - t0
+            task.thread = threading.current_thread().name
+
+        futures = [
+            self._pool.submit(run, task, fn) for task, fn in zip(tasks, fns)
+        ]
+        for future in futures:
+            future.result()
+        _PARALLEL_TASKS.inc(len(tasks))
+
+    # -- public API --------------------------------------------------------
+
+    def query_batch(
+        self,
+        queries: Sequence[Iterable],
+        sigma_low: float,
+        sigma_high: float,
+        strategy: str = "index",
+        explain: bool = False,
+    ) -> BatchQueryResult:
+        """Answer a batch over one shared range; see the module docstring
+        for the equivalence guarantees.  Parameters and result semantics
+        match :meth:`repro.core.index.SetSimilarityIndex.query_batch`.
+        """
+        snap = self.snapshot
+        cost = snap.cost
+        if not 0.0 <= sigma_low <= sigma_high <= 1.0:
+            raise ValueError(
+                f"invalid similarity range [{sigma_low}, {sigma_high}]"
+            )
+        if strategy not in ("index", "scan", "auto"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        if strategy == "auto":
+            strategy = snap.choose_strategy(sigma_low, sigma_high)
+        query_sets = [frozenset(q) for q in queries]
+        n = len(query_sets)
+        wall0 = time.perf_counter()
+        all_tasks: list[_Task] = []
+        with trace.capture(
+            "query_batch",
+            io=cost,
+            force=explain,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            n_queries=n,
+            workers=self.workers,
+        ) as root:
+            recording = root is not None
+            before = cost.snapshot()
+            if strategy == "scan":
+                candidates_list, answers_list = self._scan_batch(
+                    query_sets, sigma_low, sigma_high, all_tasks
+                )
+                fetches_saved = 0
+                probe_pages_saved = 0
+            else:
+                (candidates_list, answers_list, fetches_saved,
+                 probe_pages_saved) = self._index_batch(
+                    query_sets, sigma_low, sigma_high, all_tasks, recording
+                )
+            delta = cost.snapshot() - before
+            if strategy == "scan":
+                # One shared collection pass instead of one per query.
+                pages_saved = (delta.random_reads + delta.sequential_reads) * max(
+                    0, n - 1
+                )
+            else:
+                pages_saved = probe_pages_saved
+            self._emit_worker_spans(all_tasks)
+            batch = BatchQueryResult(
+                results=[
+                    QueryResult(
+                        answers=answers,
+                        candidates=candidates,
+                        io=IOStats(),
+                        io_time=0.0,
+                        cpu_time=0.0,
+                    )
+                    for answers, candidates in zip(answers_list, candidates_list)
+                ],
+                io=delta,
+                io_time=cost.io_time(delta),
+                cpu_time=cost.cpu_time(delta),
+                pages_saved=pages_saved,
+                fetches_saved=fetches_saved,
+                trace=root,
+                exec_stats=self._exec_stats(all_tasks, strategy, wall0),
+            )
+            if root is not None:
+                self._annotate(root, batch)
+        _QUERY_BATCHES.inc()
+        _PARALLEL_BATCHES.inc()
+        _BATCH_SIZE.observe(n)
+        _BATCH_FETCHES_SAVED.inc(fetches_saved)
+        _QUERIES.inc(n)
+        _QUERY_CANDIDATES.inc(batch.n_candidates)
+        _QUERY_VERIFIED.inc(batch.n_verified)
+        _QUERY_FALSE_POSITIVES.inc(batch.n_candidates - batch.n_verified)
+        for result in batch.results:
+            _CANDIDATES_PER_QUERY.observe(result.n_candidates)
+        return batch
+
+    def query_above_batch(
+        self, queries: Sequence[Iterable], sigma: float, **kwargs
+    ) -> BatchQueryResult:
+        """Batched at-least-``sigma`` queries (cf. ``query_above_batch``)."""
+        return self.query_batch(queries, sigma, 1.0, **kwargs)
+
+    def query_below_batch(
+        self, queries: Sequence[Iterable], sigma: float, **kwargs
+    ) -> BatchQueryResult:
+        """Batched at-most-``sigma`` queries (cf. ``query_below_batch``)."""
+        return self.query_batch(queries, 0.0, sigma, **kwargs)
+
+    # -- scan strategy -----------------------------------------------------
+
+    def _scan_batch(
+        self,
+        query_sets: list[frozenset],
+        sigma_low: float,
+        sigma_high: float,
+        all_tasks: list[_Task],
+    ) -> tuple[list[set[int]], list[list[tuple[int, float]]]]:
+        snap = self.snapshot
+        n = len(query_sets)
+        candidates_list: list[set[int]] = [set() for _ in range(n)]
+        answers_list: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        chunks = _chunks(list(range(n)), self.workers * 4)
+        tasks = [
+            _Task("scan", f"scan[{chunk[0]}:{chunk[-1] + 1}]")
+            for chunk in chunks
+        ]
+
+        def make(chunk):
+            def body(task: _Task):
+                return [
+                    snap.scan_one(
+                        query_sets[i], sigma_low, sigma_high, task.io
+                    )
+                    for i in chunk
+                ]
+            return body
+
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        with trace.span(
+            "scan_batch", n_pages=snap.scan_pages, n_queries=n
+        ) as sp:
+            # The one shared sequential pass over the heap, then each
+            # worker's per-query CPU shards, merged deterministically.
+            snap.cost.stats.sequential_reads += snap.scan_pages
+            for task, chunk in zip(tasks, chunks):
+                _apply(snap.cost, task.io)
+                for i, (candidates, answers) in zip(chunk, task.result):
+                    candidates_list[i] = candidates
+                    answers_list[i] = answers
+            sp.set(
+                n_candidates=sum(len(c) for c in candidates_list),
+                n_verified=sum(len(a) for a in answers_list),
+            )
+        all_tasks.extend(tasks)
+        return candidates_list, answers_list
+
+    # -- index strategy ----------------------------------------------------
+
+    def _index_batch(
+        self,
+        query_sets: list[frozenset],
+        sigma_low: float,
+        sigma_high: float,
+        all_tasks: list[_Task],
+        recording: bool,
+    ) -> tuple[list[set[int]], list[list[tuple[int, float]]], int, int]:
+        snap = self.snapshot
+        n = len(query_sets)
+        lo, up = snap.enclosing_points(sigma_low, sigma_high)
+        plan, probes, pivot = snap.plan_probes(sigma_low, sigma_high)
+        rows: list[int] = []
+        if plan != "full_collection":
+            rows = [i for i, q in enumerate(query_sets) if q]
+            if not rows:
+                plan, probes = "empty_queries", []
+        matrix: np.ndarray | None = None
+        with trace.span(
+            "candidates_batch", lo=lo, up=up, n_queries=n
+        ) as csp:
+            probed: dict[tuple[str, float], list[set[int]]] = {}
+            probe_pages_saved = 0
+            if probes:
+                matrix = self._embed_stage(query_sets, rows, all_tasks)
+                probed, probe_pages_saved = self._probe_stage(
+                    probes, matrix, len(rows), all_tasks, recording
+                )
+            candidates_list = snap.combine_candidates(
+                plan, probed, probes, n, rows
+            )
+            if csp.recording:
+                csp.set(
+                    plan=plan,
+                    n_candidates=sum(len(s) for s in candidates_list),
+                    _rows=rows,
+                )
+                if pivot is not None:
+                    csp.set(pivot=pivot)
+        answers_list, fetches_saved = self._verify_stage(
+            query_sets, candidates_list, sigma_low, sigma_high,
+            matrix, rows, all_tasks, recording,
+        )
+        return candidates_list, answers_list, fetches_saved, probe_pages_saved
+
+    def _embed_stage(
+        self,
+        query_sets: list[frozenset],
+        rows: list[int],
+        all_tasks: list[_Task],
+    ) -> np.ndarray:
+        """Vectorized embedding, sharded by query chunk.
+
+        Embedding is a per-set pure function, so the chunk matrices
+        concatenate to exactly the full-batch ``embed_many`` result.
+        """
+        snap = self.snapshot
+        chunks = _chunks(rows, self.workers * 2)
+        tasks = [
+            _Task("embed", f"embed[{chunk[0]}:{chunk[-1] + 1}]")
+            for chunk in chunks
+        ]
+
+        def make(chunk):
+            def body(task: _Task):
+                task.io.cpu_ops += snap.embedder.k * len(chunk)
+                return snap.embedder.embed_many(
+                    [query_sets[i] for i in chunk]
+                )
+            return body
+
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        with trace.span(
+            "embed_batch", k=snap.embedder.k, n_queries=len(rows)
+        ):
+            for task in tasks:
+                _apply(snap.cost, task.io)
+        all_tasks.extend(tasks)
+        return np.concatenate([task.result for task in tasks])
+
+    def _probe_stage(
+        self,
+        probes: list[tuple[str, float]],
+        matrix: np.ndarray,
+        n_rows: int,
+        all_tasks: list[_Task],
+        recording: bool,
+    ) -> tuple[dict[tuple[str, float], list[set[int]]], int]:
+        """Probe every planned filter, sharded by hash table.
+
+        Each (filter, table) task groups the whole batch's keys by
+        bucket exactly as the sequential grouped probe does, so page
+        charges and ``pages_saved`` cannot depend on the worker count.
+        """
+        snap = self.snapshot
+        cmatrix: np.ndarray | None = None
+        if any(kind == "dfi" for kind, _ in probes):
+            # Theorem 2: DFI probes use the complemented queries;
+            # complement once per batch, not once per table.
+            cmatrix = complement(matrix, snap.n_bits)
+        tasks: list[_Task] = []
+        fns = []
+        units: list[tuple[tuple[str, float], int]] = []
+        for key in probes:
+            kind, point = key
+            fp = snap.filter_probe(kind, point)
+            probe_matrix = cmatrix if fp.complement_query else matrix
+            for t in range(fp.n_tables):
+                task = _Task("probe", f"{kind}({point:.3f})[t{t}]")
+                tasks.append(task)
+                units.append((key, t))
+
+                def body(task: _Task, fp=fp, t=t, probe_matrix=probe_matrix):
+                    saved_before = _PAGES_SAVED.local_value
+                    got = fp.probe_table(t, probe_matrix, task.io)
+                    task.extra = _PAGES_SAVED.local_value - saved_before
+                    return got
+
+                fns.append(body)
+        self._run_tasks(tasks, fns)
+        # Deterministic merge: per filter, union each query's sids over
+        # its tables (order-independent), sum page/CPU shards, and
+        # record the same aggregate counters and probe span the live
+        # batch probe records.
+        probed: dict[tuple[str, float], list[set[int]]] = {}
+        total_saved = 0
+        by_key: dict[tuple[str, float], list[_Task]] = {}
+        for (key, _), task in zip(units, tasks):
+            by_key.setdefault(key, []).append(task)
+        for key in probes:
+            kind, point = key
+            fp = snap.filter_probe(kind, point)
+            sids: list[set[int]] = [set() for _ in range(n_rows)]
+            totals = 0
+            merged_io = IOStats()
+            saved = 0
+            for task in by_key[key]:
+                for j, got in enumerate(task.result):
+                    totals += len(got)
+                    sids[j].update(got)
+                merged_io = merged_io + task.io
+                saved += task.extra
+            unique = sum(len(s) for s in sids)
+            record_batch_probe_counters(kind, n_rows, unique, totals - unique)
+            total_saved += saved
+            probed[key] = sids
+            with trace.span(
+                f"{kind}_probe_batch",
+                s_star=fp.threshold,
+                sigma=fp.sigma_point,
+                r=fp.r,
+                l=fp.n_tables,
+                n_queries=n_rows,
+            ) as psp:
+                _apply(snap.cost, merged_io)
+                if psp.recording:
+                    psp.set(
+                        tables_probed=fp.n_tables,
+                        candidates=unique,
+                        pages_saved=saved,
+                        _sids_per_query=sids,
+                    )
+                    if kind == "sfi":
+                        psp.set(collisions=totals - unique)
+        all_tasks.extend(tasks)
+        return probed, total_saved
+
+    def _verify_stage(
+        self,
+        query_sets: list[frozenset],
+        candidates_list: list[set[int]],
+        sigma_low: float,
+        sigma_high: float,
+        matrix: np.ndarray | None,
+        rows: list[int],
+        all_tasks: list[_Task],
+        recording: bool,
+    ) -> tuple[list[list[tuple[int, float]]], int]:
+        """Columnar exact verification, sharded by query chunk."""
+        snap = self.snapshot
+        n = len(query_sets)
+        n_pairs = sum(len(c) for c in candidates_list)
+        distinct = (
+            sorted(set().union(*candidates_list)) if candidates_list else []
+        )
+        fetches_saved = n_pairs - len(distinct)
+        chunks = _chunks(list(range(n)), self.workers * 4)
+        tasks = [
+            _Task("verify", f"verify[{chunk[0]}:{chunk[-1] + 1}]")
+            for chunk in chunks
+        ]
+
+        def make(chunk):
+            def body(task: _Task):
+                return [
+                    snap.verify_one(
+                        query_sets[i], candidates_list[i],
+                        sigma_low, sigma_high, task.io,
+                    )
+                    for i in chunk
+                ]
+            return body
+
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        answers_list: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        with trace.span(
+            "verify_batch", n_queries=n, n_pairs=n_pairs
+        ) as sp:
+            fetch_io = IOStats()
+            snap.charge_fetches(distinct, fetch_io)
+            _apply(snap.cost, fetch_io)
+            for task, chunk in zip(tasks, chunks):
+                _apply(snap.cost, task.io)
+                for i, answers in zip(chunk, task.result):
+                    answers_list[i] = answers
+            n_verified = sum(len(a) for a in answers_list)
+            if sp.recording:
+                sp.set(
+                    n_candidates=len(distinct),
+                    n_verified=n_verified,
+                    false_positives=n_pairs - n_verified,
+                    fetches_saved=fetches_saved,
+                    est_in_range=snap.estimate_in_range(
+                        candidates_list, matrix, rows, sigma_low, sigma_high
+                    ),
+                )
+        all_tasks.extend(tasks)
+        return answers_list, fetches_saved
+
+    # -- observability -----------------------------------------------------
+
+    def _emit_worker_spans(self, all_tasks: list[_Task]) -> None:
+        """Per-worker spans plus the shard-merge summary (EXPLAIN)."""
+        with trace.span(
+            "parallel_exec", workers=self.workers, n_tasks=len(all_tasks)
+        ) as sp:
+            if not sp.recording:
+                return
+            by_thread: dict[str, list[_Task]] = {}
+            for task in all_tasks:
+                by_thread.setdefault(task.thread, []).append(task)
+            for name in sorted(by_thread):
+                tasks = by_thread[name]
+                with trace.span(
+                    "worker",
+                    thread=name,
+                    n_tasks=len(tasks),
+                    busy_ms=round(sum(t.seconds for t in tasks) * 1e3, 3),
+                    stages=sorted({t.stage for t in tasks}),
+                ):
+                    pass
+            merged = IOStats()
+            for task in all_tasks:
+                merged = merged + task.io
+            with trace.span(
+                "shard_merge",
+                shards=len(all_tasks),
+                sequential_reads=merged.sequential_reads,
+                random_reads=merged.random_reads,
+                cpu_ops=merged.cpu_ops,
+            ):
+                pass
+
+    def _exec_stats(
+        self, all_tasks: list[_Task], strategy: str, wall0: float
+    ) -> dict:
+        stage_seconds: dict[str, float] = {}
+        for task in all_tasks:
+            stage_seconds[task.stage] = (
+                stage_seconds.get(task.stage, 0.0) + task.seconds
+            )
+        return {
+            "workers": self.workers,
+            "strategy": strategy,
+            "wall_seconds": time.perf_counter() - wall0,
+            "stage_seconds": stage_seconds,
+            "tasks": [
+                {
+                    "stage": task.stage,
+                    "label": task.label,
+                    "thread": task.thread,
+                    "seconds": task.seconds,
+                }
+                for task in all_tasks
+            ],
+        }
+
+    def _annotate(self, root, batch: BatchQueryResult) -> None:
+        """Mirror of the live path's post-batch trace enrichment."""
+        root.set(
+            n_candidates=batch.n_candidates,
+            n_verified=batch.n_verified,
+            io_time=batch.io_time,
+            cpu_time=batch.cpu_time,
+            total_time=batch.total_time,
+            pages_saved=batch.pages_saved,
+            fetches_saved=batch.fetches_saved,
+        )
+        answer_sids = [r.answer_sids for r in batch.results]
+        for cspan in root.find("candidates_batch"):
+            rows = cspan.attrs.get("_rows")
+            if rows is None:
+                continue
+            for span in cspan.walk():
+                per_query = span.attrs.get("_sids_per_query")
+                if per_query is None:
+                    continue
+                span.set(survived=sum(
+                    len(sids & answer_sids[i])
+                    for sids, i in zip(per_query, rows)
+                ))
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelExecutor(workers={self.workers}, "
+            f"snapshot={self.snapshot!r})"
+        )

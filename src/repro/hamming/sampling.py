@@ -59,7 +59,7 @@ class BitSampler:
 
     def keys(self, matrix: np.ndarray) -> list[bytes]:
         """Hash keys for every row of a packed matrix (vectorized)."""
-        _KEYS.value += matrix.shape[0]
+        _KEYS.inc(matrix.shape[0])
         bits = (matrix[:, self._word_index] >> self._bit_offset) & np.uint64(1)
         packed = np.packbits(bits.astype(np.uint8), axis=1)
         return [row.tobytes() for row in packed]

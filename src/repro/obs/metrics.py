@@ -14,9 +14,20 @@ plain attribute per event::
     _PROBES = metrics.counter("hashtable.probes")
     ...
     _PROBES.inc()
+    # or, in an inner loop, hoist the calling thread's shard:
+    cell = _PROBES.shard()
+    for ...:
+        cell.count += 1
 
 :func:`MetricsRegistry.reset` therefore zeroes instruments *in place*
 rather than discarding them, so cached references stay live.
+
+Thread model: counters are **sharded per thread** -- each thread
+increments a private cell and :attr:`Counter.value` sums the cells on
+read, so concurrent increments from a worker pool are exact without
+any hot-path locking (a cell is only ever mutated by its owning
+thread).  Gauges and histograms are not sharded; they are updated from
+batch-merge points that run on one thread at a time.
 
 All instruments are registered in a module-level default registry
 (:data:`registry`); tests that need isolation can construct their own
@@ -33,20 +44,71 @@ from typing import Any, Sequence
 DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
 
 
-class Counter:
-    """A monotonically increasing count of events."""
+class CounterShard:
+    """One thread's private slice of a sharded :class:`Counter`.
 
-    __slots__ = ("name", "value")
+    Only the owning thread mutates ``count``; aggregation reads it
+    without a lock (int reads are atomic under the GIL, and a torn
+    read at worst lags by in-flight increments).
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+
+class Counter:
+    """A monotonically increasing count of events, sharded per thread.
+
+    ``inc()`` (or ``shard().count += n`` in hot loops) touches only the
+    calling thread's :class:`CounterShard`; :attr:`value` aggregates
+    all shards on read.  Shards of finished threads are kept so their
+    contributions survive thread exit.
+    """
+
+    __slots__ = ("name", "_lock", "_shards", "_local")
 
     def __init__(self, name: str):
         self.name = name
-        self.value = 0
+        self._lock = threading.Lock()
+        self._shards: list[CounterShard] = []
+        self._local = threading.local()
+
+    def shard(self) -> CounterShard:
+        """The calling thread's private cell (created on first use)."""
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = CounterShard()
+            with self._lock:
+                self._shards.append(cell)
+            self._local.cell = cell
+        return cell
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        self.shard().count += n
+
+    @property
+    def value(self) -> int:
+        """Total across all threads (aggregated on read)."""
+        with self._lock:
+            return sum(cell.count for cell in self._shards)
+
+    @property
+    def local_value(self) -> int:
+        """The calling thread's contribution only.
+
+        The right operand for before/after deltas taken around work
+        that runs entirely on the calling thread: unlike ``value`` it
+        cannot be perturbed by concurrent increments elsewhere.
+        """
+        cell = getattr(self._local, "cell", None)
+        return 0 if cell is None else cell.count
 
     def _reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            for cell in self._shards:
+                cell.count = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"

@@ -132,11 +132,11 @@ class BucketHashTable:
         for rank, page_id in enumerate(chain):
             self.pager.read(page_id, sequential=rank > 0)
         got = self._bucket_directory(bucket).get(fingerprint)
-        # Direct attribute adds, not .inc(): this runs once per table
-        # per filter probe, and the method-call overhead is measurable
-        # at query granularity.
-        _PROBES.value += 1
-        _PROBE_PAGES.value += len(chain)
+        # Per-thread shard adds, not .inc(): this runs once per table
+        # per filter probe, and the extra method-call overhead is
+        # measurable at query granularity.
+        _PROBES.shard().count += 1
+        _PROBE_PAGES.shard().count += len(chain)
         # Copy: callers own their result lists, the memo owns its own.
         return list(got) if got else []
 
@@ -165,19 +165,21 @@ class BucketHashTable:
                 by_bucket[bucket].append((i, fingerprint))
             else:
                 by_bucket[bucket] = [(i, fingerprint)]
+        pages_cell = _PROBE_PAGES.shard()
+        saved_cell = _PROBE_PAGES_SAVED.shard()
         for bucket, members in by_bucket.items():
             chain = self._chains[bucket]
             for rank, page_id in enumerate(chain):
                 self.pager.read(page_id, sequential=rank > 0)
             directory = self._bucket_directory(bucket)
-            _PROBE_PAGES.value += len(chain)
-            _PROBE_PAGES_SAVED.value += len(chain) * (len(members) - 1)
+            pages_cell.count += len(chain)
+            saved_cell.count += len(chain) * (len(members) - 1)
             for i, fingerprint in members:
                 got = directory.get(fingerprint)
                 # Copy so callers own their lists (two keys of the batch
                 # may share a fingerprint).
                 results[i] = list(got) if got else []
-        _PROBES.value += len(keys)
+        _PROBES.shard().count += len(keys)
         return results
 
     def delete(self, key: bytes, sid: int) -> bool:
@@ -243,3 +245,85 @@ class BucketHashTable:
             for page_id in chain:
                 page = self.pager.read(page_id, sequential=True)
                 yield from page.slots
+
+    def freeze(self) -> "FrozenTableView":
+        """A read-only probe view with every bucket directory pre-built.
+
+        Warms the full fingerprint-directory memo (uncharged, like the
+        memo itself) and snapshots the per-bucket chain lengths.  The
+        view answers probes without touching the pager, charging the
+        exact page reads :meth:`probe`/:meth:`probe_many` would have
+        charged into a caller-supplied :class:`~repro.storage.iomodel.IOStats`
+        -- the building block of a frozen index snapshot.  The view is
+        only valid while the table does not mutate (frozen indexes
+        refuse mutation, which is what makes sharing the directory
+        dicts safe).
+        """
+        for bucket in range(self.n_buckets):
+            self._bucket_directory(bucket)
+        return FrozenTableView(
+            self.n_buckets,
+            [len(chain) for chain in self._chains],
+            list(self._directory),
+        )
+
+
+class FrozenTableView:
+    """Immutable bucket-directory image of one :class:`BucketHashTable`.
+
+    Probes are pure dictionary lookups over the pre-built directories;
+    page reads are *accounted* (into the ``io`` argument) rather than
+    performed, with charges identical to the live table: per distinct
+    bucket touched, one random read for the head page and sequential
+    reads for overflow pages.  Safe for concurrent probing from many
+    threads -- nothing is mutated except the caller's ``io`` and the
+    calling thread's counter shards.
+    """
+
+    __slots__ = ("n_buckets", "chain_pages", "directories")
+
+    def __init__(
+        self,
+        n_buckets: int,
+        chain_pages: list[int],
+        directories: list[dict[int, list[int]] | None],
+    ):
+        self.n_buckets = n_buckets
+        self.chain_pages = chain_pages
+        self.directories = directories
+
+    def probe_many(self, keys: list[bytes], io) -> list[list[int]]:
+        """Grouped batch probe, bit-equivalent to the live table's.
+
+        Result ``i`` equals ``BucketHashTable.probe(keys[i])``; the
+        reads charged to ``io`` (an :class:`~repro.storage.iomodel.IOStats`)
+        and the module counters move exactly as
+        :meth:`BucketHashTable.probe_many` would move them.
+        """
+        results: list[list[int]] = [[] for _ in keys]
+        by_bucket: dict[int, list[tuple[int, int]]] = {}
+        blake2b, n_buckets = hashlib.blake2b, self.n_buckets
+        for i, key in enumerate(keys):
+            fingerprint = int.from_bytes(
+                blake2b(key, digest_size=8).digest(), "little"
+            )
+            bucket = fingerprint % n_buckets
+            if bucket in by_bucket:
+                by_bucket[bucket].append((i, fingerprint))
+            else:
+                by_bucket[bucket] = [(i, fingerprint)]
+        pages_cell = _PROBE_PAGES.shard()
+        saved_cell = _PROBE_PAGES_SAVED.shard()
+        for bucket, members in by_bucket.items():
+            pages = self.chain_pages[bucket]
+            if pages:
+                io.random_reads += 1
+                io.sequential_reads += pages - 1
+            directory = self.directories[bucket]
+            pages_cell.count += pages
+            saved_cell.count += pages * (len(members) - 1)
+            for i, fingerprint in members:
+                got = directory.get(fingerprint) if directory else None
+                results[i] = list(got) if got else []
+        _PROBES.shard().count += len(keys)
+        return results

@@ -137,3 +137,49 @@ class TestBucketHashTable:
         for key in (b"a", b"b", b"c", b"d"):
             assert sorted(table.probe(key)) == sorted(model.get(key, []))
         assert table.n_entries == sum(len(v) for v in model.values())
+
+
+class TestDirectoryInvalidation:
+    """The per-bucket fingerprint directory is a memo over page chains;
+    any mutation of a bucket must drop its memo or probes serve stale
+    (or ghost) entries."""
+
+    def test_delete_invalidates_bucket_directory(self):
+        table = _table(n_buckets=2)
+        table.insert(b"k1", 1)
+        table.insert(b"k1", 2)
+        bucket, _ = table._bucket_of(b"k1")
+        assert sorted(table.probe(b"k1")) == [1, 2]  # memo built
+        assert table._directory[bucket] is not None
+        assert table.delete(b"k1", 1)
+        assert table._directory[bucket] is None  # memo dropped
+        assert table.probe(b"k1") == [2]  # no ghost entry
+
+    def test_insert_invalidates_bucket_directory(self):
+        table = _table(n_buckets=2)
+        table.insert(b"k1", 1)
+        table.probe(b"k1")
+        bucket, _ = table._bucket_of(b"k1")
+        assert table._directory[bucket] is not None
+        table.insert(b"k1", 9)
+        assert table._directory[bucket] is None
+        assert sorted(table.probe(b"k1")) == [1, 9]
+
+    def test_delete_only_invalidates_its_own_bucket(self):
+        table = _table(n_buckets=64)
+        keys = [f"key-{i}".encode() for i in range(32)]
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        for key in keys:
+            table.probe(key)  # warm every touched bucket's memo
+        victim = keys[0]
+        victim_bucket, _ = table._bucket_of(victim)
+        warmed = {
+            b for b in range(64)
+            if table._directory[b] is not None and b != victim_bucket
+        }
+        assert warmed  # 32 keys over 64 buckets: others got warmed
+        assert table.delete(victim, 0)
+        assert table._directory[victim_bucket] is None
+        for b in warmed:
+            assert table._directory[b] is not None

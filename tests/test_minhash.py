@@ -133,3 +133,50 @@ class TestUnbiasedEstimation:
         estimate = hasher.estimate_similarity(hasher.signature(a), hasher.signature(b))
         # 800 samples -> se <= 0.018; 5 sigma tolerance keeps flake ~0.
         assert abs(estimate - jaccard(a, b)) < 0.09
+
+
+class TestSignatureMatrixChunking:
+    """``signature_matrix`` chunking is invisible: any ``chunk_elements``
+    yields bit-identical output to the per-set ``signature`` loop."""
+
+    def test_single_set_larger_than_chunk(self):
+        hasher = MinHasher(k=16, seed=5)
+        big = frozenset(range(200))
+        matrix = hasher.signature_matrix([big], chunk_elements=32)
+        assert np.array_equal(matrix[0], hasher.signature(big))
+
+    def test_batch_straddling_chunk_boundary(self):
+        hasher = MinHasher(k=16, seed=6)
+        sets = [frozenset(range(i, i + 7)) for i in range(0, 60, 4)]
+        # chunk_elements=20 splits the 15-set batch mid-stream several
+        # times (7 elements per set -> at most 2 sets per chunk).
+        matrix = hasher.signature_matrix(sets, chunk_elements=20)
+        for i, s in enumerate(sets):
+            assert np.array_equal(matrix[i], hasher.signature(s))
+
+    def test_empty_set_rejected_in_any_chunk(self):
+        hasher = MinHasher(k=4, seed=0)
+        with pytest.raises(ValueError):
+            hasher.signature_matrix(
+                [frozenset({1, 2}), frozenset()], chunk_elements=2
+            )
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(0, 99), min_size=1, max_size=12),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_is_bit_identical(self, sets, chunk_elements):
+        """Property: for random batches and chunk sizes -- including
+        chunks smaller than a single set -- the matrix matches the
+        scalar path exactly."""
+        hasher = MinHasher(k=8, seed=7)
+        matrix = hasher.signature_matrix(sets, chunk_elements=chunk_elements)
+        unchunked = hasher.signature_matrix(sets)
+        assert np.array_equal(matrix, unchunked)
+        for i, s in enumerate(sets):
+            assert np.array_equal(matrix[i], hasher.signature(s))
