@@ -9,7 +9,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli demo    [--n-sets 500]
 
 The input format for ``build`` is one set per line, elements separated
-by whitespace (elements are treated as opaque strings).  ``query``
+by whitespace (elements are treated as opaque strings); ``build
+--workers N`` fans the filter-table bulk loads out over ``N`` planning
+threads (bit-identical index at any count) and ``build --explain``
+prints the traced build phases.  ``query``
 prints one ``sid<TAB>similarity`` line per answer; with ``--explain``
 it appends the traced plan tree.  Repeating ``--set`` (or giving
 ``--sets-file``) runs all query sets as one *batch* through
@@ -48,7 +51,14 @@ def read_sets(path: Path) -> list[frozenset[str]]:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
-    """``build``: index a one-set-per-line file and save it."""
+    """``build``: index a one-set-per-line file and save it.
+
+    The filter tables are bulk-loaded through the vectorized pipeline;
+    ``--workers N`` plans the independent (filter, table) units on
+    ``N`` threads (the index is bit-identical at any count).
+    ``--explain`` traces the build and appends its phase tree plus the
+    build report.
+    """
     sets = read_sets(Path(args.input))
     index = SetSimilarityIndex.build(
         sets,
@@ -58,6 +68,8 @@ def cmd_build(args: argparse.Namespace) -> int:
         b=args.bits,
         seed=args.seed,
         sample_pairs=args.sample_pairs,
+        workers=args.workers,
+        explain=args.explain,
     )
     index.save(args.output)
     plan = index.plan
@@ -67,6 +79,18 @@ def cmd_build(args: argparse.Namespace) -> int:
         f"expected recall {plan.expected_recall:.3f} "
         f"(target {'met' if plan.met_target else 'NOT met'})"
     )
+    report = index.build_report
+    if report is not None and report.get("filters") is not None:
+        f = report["filters"]
+        print(
+            f"build: {f['entries']} entries over {f['n_units']} table units "
+            f"({f['new_pages']} pages), workers={f['workers']}, "
+            f"plan {f['plan_busy_seconds']:.3f}s busy / "
+            f"{f['modeled_plan_makespan']:.3f}s modeled makespan, "
+            f"apply {f['apply_wall_seconds']:.3f}s"
+        )
+    if args.explain:
+        print(render_trace(index.build_trace))
     return 0
 
 
@@ -216,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--bits", type=int, default=6, help="bits per min-hash value")
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("--sample-pairs", type=int, default=100_000)
+    p_build.add_argument(
+        "--workers", type=int, default=1,
+        help="plan the filter-table bulk loads on this many threads "
+             "(the built index is identical at any count)",
+    )
+    p_build.add_argument(
+        "--explain", action="store_true",
+        help="trace the build and append its phase tree",
+    )
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser("query", help="run similarity range queries")

@@ -23,6 +23,98 @@ from repro.core.minhash import MinHasher
 from repro.core.similarity import jaccard
 
 
+def _exact_pairwise_loop(sets: Sequence[frozenset]) -> np.ndarray:
+    """All ``N(N-1)/2`` pairwise similarities via per-pair ``jaccard``.
+
+    The legacy pure-Python double loop, kept as the equivalence and
+    benchmark baseline for :func:`exact_pairwise_similarities`.
+    """
+    n = len(sets)
+    return np.fromiter(
+        (
+            jaccard(sets[i], sets[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        ),
+        dtype=np.float64,
+        count=n * (n - 1) // 2,
+    )
+
+
+def exact_pairwise_similarities(sets: Sequence[frozenset]) -> np.ndarray:
+    """All ``N(N-1)/2`` pairwise Jaccard values, vectorized.
+
+    Bit-identical to :func:`_exact_pairwise_loop` (same ``(i, j)``,
+    ``i < j``, row-major order) but computed by co-occurrence counting
+    over the collection's hashed elements
+    (:func:`repro.exec.columnar.hash_set`): every element occurrence is
+    tagged with its row, one global sort groups equal elements, and
+    each group's within-group row pairs are accumulated straight into
+    the condensed pair vector (pass ``k`` matches occurrences ``k``
+    apart in the sorted order, so the pass count is the maximum element
+    multiplicity).  Work scales with the total pairwise-intersection
+    mass -- the information content of the answer -- instead of
+    ``O(N^2)`` Python set intersections.
+
+    Sets whose hash array is unusable (an intra-set 64-bit collision,
+    ~2^-64 per element pair) fall back to exact per-pair ``jaccard``
+    for every pair involving them.
+    """
+    from repro.exec.columnar import hash_set
+
+    n = len(sets)
+    n_pairs = n * (n - 1) // 2
+    if n_pairs == 0:
+        return np.empty(0, dtype=np.float64)
+    arrays = []
+    collided_ids = []
+    for i, s in enumerate(sets):
+        arr, c = hash_set(s)
+        arrays.append(arr)
+        if c:
+            collided_ids.append(i)
+    lengths = np.fromiter((a.size for a in arrays), dtype=np.int64, count=n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+    flat = (
+        np.concatenate(arrays) if rows.size else np.empty(0, dtype=np.uint64)
+    )
+    order = np.argsort(flat, kind="stable")
+    svals = flat[order]
+    # Stable sort keeps rows ascending within an equal-value run (rows
+    # were emitted in ascending order), so matched pairs come out with
+    # a < b already -- except duplicates inside one collided row, which
+    # surface as a == b and are dropped (those rows are redone below).
+    srows = rows[order]
+    inter = np.zeros(n_pairs, dtype=np.int64)
+    two_n_minus_1 = np.int64(2 * n - 1)
+    k = 1
+    while k < svals.size:
+        match = np.flatnonzero(svals[k:] == svals[:-k])
+        if match.size == 0:
+            break
+        a = srows[match]
+        b = srows[match + k]
+        keep = a < b
+        if not keep.all():
+            a, b = a[keep], b[keep]
+        # Condensed row-major index of pair (a, b), a < b.
+        idx = a * (two_n_minus_1 - a) // 2 + (b - a - 1)
+        inter += np.bincount(idx, minlength=n_pairs)
+        k += 1
+    sizes = np.fromiter((len(s) for s in sets), dtype=np.int64, count=n)
+    i_idx, j_idx = np.triu_indices(n, k=1)
+    union = sizes[i_idx] + sizes[j_idx] - inter
+    out = np.ones(n_pairs, dtype=np.float64)  # union 0: both empty -> 1.0
+    nonempty = union > 0
+    out[nonempty] = inter[nonempty] / union[nonempty]
+    for c in collided_ids:
+        involved = np.flatnonzero((i_idx == c) | (j_idx == c))
+        for pos in involved:
+            other = int(j_idx[pos]) if i_idx[pos] == c else int(i_idx[pos])
+            out[pos] = jaccard(sets[c], sets[other])
+    return out
+
+
 def sample_pairwise_similarities(
     sets: Sequence[frozenset],
     n_samples: int,
@@ -94,6 +186,7 @@ class SimilarityDistribution:
         sample_pairs: int | None = None,
         seed: int = 0,
         hasher: MinHasher | None = None,
+        exact_method: str = "columnar",
     ) -> "SimilarityDistribution":
         """Estimate ``D_S`` from a collection.
 
@@ -107,6 +200,10 @@ class SimilarityDistribution:
             If given, sampled similarities are estimated from min-hash
             signatures instead of exact intersections (cheaper for
             large sets, with the estimator's sampling error).
+        exact_method:
+            How the exact branch computes all pairs: ``"columnar"``
+            (vectorized, the default) or ``"loop"`` (the per-pair
+            Python baseline).  Both yield bit-identical values.
         """
         sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
         n = len(sets)
@@ -122,15 +219,12 @@ class SimilarityDistribution:
                 values = sample_pairwise_similarities(sets, sample_pairs, rng)
             scale = total_pairs / len(values)
         else:
-            values = np.fromiter(
-                (
-                    jaccard(sets[i], sets[j])
-                    for i in range(n)
-                    for j in range(i + 1, n)
-                ),
-                dtype=np.float64,
-                count=total_pairs,
-            )
+            if exact_method == "columnar":
+                values = exact_pairwise_similarities(sets)
+            elif exact_method == "loop":
+                values = _exact_pairwise_loop(sets)
+            else:
+                raise ValueError(f"unknown exact_method: {exact_method!r}")
             scale = 1.0
         counts, _ = np.histogram(values, bins=n_bins, range=(0.0, 1.0))
         return cls(counts.astype(np.float64) * scale, n)

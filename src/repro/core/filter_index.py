@@ -29,7 +29,7 @@ from repro.core.filter_function import FilterFunction
 from repro.hamming.bitvector import complement
 from repro.hamming.sampling import BitSampler
 from repro.obs import metrics, trace
-from repro.storage.hashtable import BucketHashTable
+from repro.storage.hashtable import BucketHashTable, hash_words
 from repro.storage.pager import PageManager
 
 # Probe instruments (shared across all SFI/DFI instances); per-table
@@ -138,17 +138,50 @@ class SimilarityFilterIndex:
         for sampler, table in zip(self._samplers, self._tables):
             table.insert(sampler.key(vector), sid)
 
-    def insert_many(self, matrix: np.ndarray, sids: Sequence[int]) -> None:
-        """Bulk-index the rows of a packed matrix (vectorized keying)."""
+    def insert_many(
+        self, matrix: np.ndarray, sids: Sequence[int], method: str = "bulk"
+    ) -> None:
+        """Bulk-index the rows of a packed matrix (vectorized keying).
+
+        ``method="bulk"`` (default) loads each table through the
+        vectorized bucket-partitioned path
+        (:meth:`~repro.storage.hashtable.BucketHashTable.bulk_load`),
+        which produces bit-identical chains, directories and accounting
+        to ``method="insert"`` -- the legacy per-entry loop, kept as
+        the equivalence/benchmark baseline.
+
+        The rows of ``matrix`` need not be contiguous (column views and
+        strided slices are accepted); ``sids`` must be unique within
+        the call -- one set is one identifier, and a duplicate would
+        silently double-index it in every table.
+        """
         if matrix.shape[0] != len(sids):
             raise ValueError(
                 f"matrix has {matrix.shape[0]} rows but {len(sids)} sids given"
             )
+        if method not in ("bulk", "insert"):
+            raise ValueError(f"unknown insert_many method: {method!r}")
+        if len(set(sids)) != len(sids):
+            raise ValueError("duplicate sids in insert_many")
         if matrix.shape[0] == 0:
             return
-        for sampler, table in zip(self._samplers, self._tables):
-            for key, sid in zip(sampler.keys(matrix), sids):
-                table.insert(key, sid)
+        matrix = np.ascontiguousarray(matrix)
+        if method == "bulk":
+            for sampler, table in zip(self._samplers, self._tables):
+                table.bulk_load_hashed(
+                    hash_words(sampler.key_words(matrix), sampler.key_bytes),
+                    sids,
+                )
+        else:
+            for sampler, table in zip(self._samplers, self._tables):
+                for key, sid in zip(sampler.keys(matrix), sids):
+                    table.insert(key, sid)
+
+    def table_units(self) -> list[tuple]:
+        """The independent (sampler, table) build units, one per hash
+        table -- what a parallel bulk build fans out over (see
+        :mod:`repro.exec.build`)."""
+        return list(zip(self._samplers, self._tables))
 
     def delete(self, vector: np.ndarray, sid: int) -> None:
         """Remove a previously inserted (vector, sid) pair."""
@@ -335,8 +368,15 @@ class DissimilarityFilterIndex:
     def insert(self, vector: np.ndarray, sid: int) -> None:
         self._sfi.insert(vector, sid)
 
-    def insert_many(self, matrix: np.ndarray, sids: Sequence[int]) -> None:
-        self._sfi.insert_many(matrix, sids)
+    def insert_many(
+        self, matrix: np.ndarray, sids: Sequence[int], method: str = "bulk"
+    ) -> None:
+        self._sfi.insert_many(matrix, sids, method=method)
+
+    def table_units(self) -> list[tuple]:
+        """The inner SFI's (sampler, table) build units (data vectors
+        are stored unmodified; only probes complement the query)."""
+        return self._sfi.table_units()
 
     def delete(self, vector: np.ndarray, sid: int) -> None:
         self._sfi.delete(vector, sid)

@@ -14,6 +14,7 @@ paper claims for the hash-based primitives.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -182,6 +183,11 @@ class SetSimilarityIndex:
     sample_pairs:
         If given, estimate the similarity distribution from this many
         sampled pairs (Lemma 1) instead of all pairs.
+    workers:
+        Thread-pool width for the bulk filter build (plans for the
+        independent (filter, table) units are computed concurrently;
+        the pager replay stays sequential).  Any value >= 1 yields a
+        bit-identical index.
     """
 
     def __init__(
@@ -216,6 +222,16 @@ class SetSimilarityIndex:
     #: accounting, slower wall clock (kept for benchmarking).
     columnar_verify = True
 
+    #: Report of the bulk build that materialized this index (phase
+    #: timings, per-unit plan times, totals; see
+    #: :func:`repro.exec.build.bulk_load_filters`), or None for
+    #: per-insert builds and indexes loaded from older files.
+    build_report: dict | None = None
+    #: Root build span when the index was built under tracing
+    #: (``explain=True`` or an enclosing ``trace.capture``); not
+    #: persisted by :meth:`save`.
+    build_trace = None
+
     # -- construction ------------------------------------------------------
 
     @classmethod
@@ -233,29 +249,56 @@ class SetSimilarityIndex:
         io: IOCostModel | None = None,
         allocator=greedy_allocate,
         max_per_filter: int | None = None,
+        workers: int = 1,
+        explain: bool = False,
     ) -> "SetSimilarityIndex":
         sets = [frozenset(s) for s in sets]
         logger.info(
             "building index: %d sets, budget=%d, recall_target=%.2f, k=%d, b=%d",
             len(sets), budget, recall_target, k, b,
         )
-        dist = SimilarityDistribution.from_sets(
-            sets, n_bins=n_bins, sample_pairs=sample_pairs, seed=seed
-        )
-        plan = plan_index(
-            dist,
-            budget,
-            recall_target=recall_target,
-            b=b,
-            max_intervals=max_intervals,
-            allocator=allocator,
-            max_per_filter=max_per_filter,
-        )
-        logger.info(
-            "planned %d intervals over %d tables (expected recall %.3f)",
-            plan.n_intervals, plan.tables_used, plan.expected_recall,
-        )
-        return cls.from_plan(sets, plan, dist, k=k, b=b, seed=seed, io=io)
+        io = io if io is not None else IOCostModel()
+        with trace.capture(
+            "build", io=io, force=explain, n_sets=len(sets), workers=workers
+        ) as root:
+            t0 = time.perf_counter()
+            with trace.span(
+                "estimate_distribution",
+                n_bins=n_bins,
+                sample_pairs=sample_pairs,
+            ):
+                dist = SimilarityDistribution.from_sets(
+                    sets, n_bins=n_bins, sample_pairs=sample_pairs, seed=seed
+                )
+            dist_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with trace.span("plan_index", budget=budget):
+                plan = plan_index(
+                    dist,
+                    budget,
+                    recall_target=recall_target,
+                    b=b,
+                    max_intervals=max_intervals,
+                    allocator=allocator,
+                    max_per_filter=max_per_filter,
+                )
+            plan_seconds = time.perf_counter() - t0
+            logger.info(
+                "planned %d intervals over %d tables (expected recall %.3f)",
+                plan.n_intervals, plan.tables_used, plan.expected_recall,
+            )
+            index = cls.from_plan(
+                sets, plan, dist, k=k, b=b, seed=seed, io=io, workers=workers
+            )
+        if index.build_report is not None:
+            index.build_report["phases"] = {
+                "estimate_distribution_seconds": round(dist_seconds, 6),
+                "plan_index_seconds": round(plan_seconds, 6),
+                **index.build_report.get("phases", {}),
+            }
+        if root is not None:
+            index.build_trace = root
+        return index
 
     @classmethod
     def from_plan(
@@ -267,28 +310,78 @@ class SetSimilarityIndex:
         b: int = 6,
         seed: int = 0,
         io: IOCostModel | None = None,
+        workers: int = 1,
+        explain: bool = False,
+        build_method: str = "bulk",
     ) -> "SetSimilarityIndex":
         """Materialize an index from an explicit plan.
 
         Used by ablation experiments that bypass or modify the Fig. 4
         optimizer (e.g. SFI-only placement, uniform allocation).
+
+        ``build_method="bulk"`` (default) loads the filter tables
+        through the vectorized bucket-partitioned pipeline
+        (:func:`repro.exec.build.bulk_load_filters`, ``workers`` wide);
+        ``"insert"`` keeps the legacy per-entry loop.  Both produce
+        bit-identical indexes; the bulk build also attaches
+        :attr:`build_report`.
         """
+        from repro.exec.build import bulk_load_filters
+
+        if build_method not in ("bulk", "insert"):
+            raise ValueError(f"unknown build_method: {build_method!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         sets = [frozenset(s) for s in sets]
         io = io if io is not None else IOCostModel()
         pager = PageManager(io)
         store = SetStore(pager)
         embedder = SetEmbedder(k=k, b=b, seed=seed)
         index = cls(embedder, plan, distribution, pager, store)
-        index._materialize_filters(expected_entries=max(1, len(sets)), seed=seed)
-        sids = store.insert_many(sets)
-        if sets:
-            matrix = embedder.embed_many(sets)
-            for sid, row, elements in zip(sids, matrix, sets):
-                index._vectors[sid] = row
-                index._sizes[sid] = len(elements)
-                index._set_chash(sid, elements)
-            for fi in index._all_filters():
-                fi.insert_many(matrix, sids)
+        with trace.capture(
+            "build_index",
+            io=io,
+            force=explain,
+            n_sets=len(sets),
+            workers=workers,
+            method=build_method,
+        ) as root:
+            index._materialize_filters(
+                expected_entries=max(1, len(sets)), seed=seed
+            )
+            t0 = time.perf_counter()
+            with trace.span("store_load", n_sets=len(sets)):
+                sids = store.insert_many(sets)
+            store_seconds = time.perf_counter() - t0
+            filter_report = None
+            embed_seconds = 0.0
+            if sets:
+                t0 = time.perf_counter()
+                with trace.span("embed_corpus", k=k, n_sets=len(sets)):
+                    matrix = embedder.embed_many(sets)
+                    for sid, row, elements in zip(sids, matrix, sets):
+                        index._vectors[sid] = row
+                        index._sizes[sid] = len(elements)
+                        index._set_chash(sid, elements)
+                embed_seconds = time.perf_counter() - t0
+                if build_method == "bulk":
+                    filter_report = bulk_load_filters(
+                        list(index._all_filters()), matrix, sids,
+                        workers=workers,
+                    )
+                else:
+                    for fi in index._all_filters():
+                        fi.insert_many(matrix, sids, method="insert")
+        if build_method == "bulk":
+            index.build_report = {
+                "n_sets": len(sets),
+                "phases": {
+                    "store_load_seconds": round(store_seconds, 6),
+                    "embed_corpus_seconds": round(embed_seconds, 6),
+                },
+                "filters": filter_report,
+            }
+        index.build_trace = root
         logger.debug(
             "materialized %d SFIs + %d DFIs over %d sets",
             len(index._sfis), len(index._dfis), len(sets),
@@ -1100,8 +1193,11 @@ class SetSimilarityIndex:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         # Snapshots are derived, reference-sharing views; persist the
-        # index unfrozen rather than serializing one.
+        # index unfrozen rather than serializing one.  Build traces are
+        # session-local observability and drop back to the class
+        # default (None) on load.
         state["_frozen"] = None
+        state.pop("build_trace", None)
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -18,7 +18,10 @@ import pickle
 from pathlib import Path
 
 MAGIC = b"REPRO-SSI"
-FORMAT_VERSION = 1
+#: Bumped to 2 when the key fingerprint changed from blake2b to the
+#: splitmix64 word fold: fingerprints are baked into every stored page,
+#: so version-1 files must fail loudly rather than probe-miss silently.
+FORMAT_VERSION = 2
 
 
 class PersistenceError(RuntimeError):

@@ -90,6 +90,25 @@ class ExperimentHarness:
         self.scan = SequentialScan(index.store)
         self.oracle = InvertedIndex(self.sets)
 
+    def build_summary(self) -> dict | None:
+        """JSON-safe summary of how the harness's index was built.
+
+        The index's :attr:`~repro.core.index.SetSimilarityIndex.build_report`
+        with the per-unit detail collapsed to totals -- the build-side
+        analogue of ``record.trace_summary``, attachable to benchmark
+        artifacts.  None for per-insert builds and loaded indexes.
+        """
+        report = self.index.build_report
+        if report is None:
+            return None
+        summary = {k: v for k, v in report.items() if k != "filters"}
+        filters = report.get("filters")
+        if filters is not None:
+            summary["filters"] = {
+                k: v for k, v in filters.items() if k != "units"
+            }
+        return summary
+
     def run_query(
         self,
         query: RangeQuery,

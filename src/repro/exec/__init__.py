@@ -15,9 +15,14 @@ This package provides the serving-side counterpart:
   bit-identical to the sequential ``query_batch`` at any worker count;
 - :mod:`~repro.exec.columnar` -- the vectorized sorted-hash-array
   kernels behind exact Jaccard verification (shared with the live
-  sequential path).
+  sequential path);
+- :mod:`~repro.exec.build` -- the build-side counterpart: bulk filter
+  construction with parallel per-table planning and a deterministic
+  sequential apply, bit-identical to the per-insert path at any worker
+  count.
 """
 
+from repro.exec.build import bulk_load_filters, lpt_makespan
 from repro.exec.columnar import build_csr, hash_set, intersect_counts, jaccard_values
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.snapshot import IndexSnapshot
@@ -25,6 +30,8 @@ from repro.exec.snapshot import IndexSnapshot
 __all__ = [
     "IndexSnapshot",
     "ParallelExecutor",
+    "bulk_load_filters",
+    "lpt_makespan",
     "build_csr",
     "hash_set",
     "intersect_counts",

@@ -52,6 +52,11 @@ class BitSampler:
         self._word_index = (self.positions // 64).astype(np.int64)
         self._bit_offset = (self.positions % 64).astype(np.uint64)
 
+    @property
+    def key_bytes(self) -> int:
+        """Byte width of every key this sampler emits."""
+        return -(-self.r // 8)
+
     def key(self, vector: np.ndarray) -> bytes:
         """Hash key of a single packed vector: its sampled bits, packed."""
         bits = (vector[self._word_index] >> self._bit_offset) & np.uint64(1)
@@ -63,6 +68,27 @@ class BitSampler:
         bits = (matrix[:, self._word_index] >> self._bit_offset) & np.uint64(1)
         packed = np.packbits(bits.astype(np.uint8), axis=1)
         return [row.tobytes() for row in packed]
+
+    def key_words(self, matrix: np.ndarray) -> np.ndarray:
+        """Every row's key as little-endian uint64 words, never leaving
+        numpy: row ``i`` holds the words of ``key(matrix[i])`` with the
+        last word zero-padded.  Feeds
+        :func:`repro.storage.hashtable.hash_words` (with
+        :attr:`key_bytes`) so the bulk build fingerprints a whole
+        matrix without materializing per-row ``bytes`` objects.
+        """
+        _KEYS.inc(matrix.shape[0])
+        bits = (matrix[:, self._word_index] >> self._bit_offset) & np.uint64(1)
+        packed = np.packbits(bits.astype(np.uint8), axis=1)
+        width = packed.shape[1]
+        n_words = -(-width // 8)
+        if width != n_words * 8:
+            padded = np.zeros((packed.shape[0], n_words * 8), dtype=np.uint8)
+            padded[:, :width] = packed
+            packed = padded
+        # packbits may hand back a strided result; the u8 view needs a
+        # contiguous last axis.
+        return np.ascontiguousarray(packed).view("<u8")
 
     def __repr__(self) -> str:
         return f"BitSampler(n_bits={self.n_bits}, r={self.r})"

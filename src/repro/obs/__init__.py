@@ -25,10 +25,11 @@ disabled, so instrumentation can stay in the hot paths permanently.
 """
 
 from repro.obs import metrics, trace
-from repro.obs.explain import explain_json, render_trace
+from repro.obs.explain import build_summaries, explain_json, render_trace
 from repro.obs.logs import configure_logging
 
 __all__ = [
+    "build_summaries",
     "configure_logging",
     "explain_json",
     "metrics",

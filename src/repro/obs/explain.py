@@ -183,6 +183,41 @@ def filter_summaries(trace: Span) -> list[dict[str, Any]]:
     return summaries
 
 
+#: Span names of the build pipeline's phases, in pipeline order.
+BUILD_PHASE_SPANS = (
+    "estimate_distribution", "plan_index", "store_load",
+    "embed_corpus", "filter_build",
+)
+
+
+def build_summaries(trace: Span) -> list[dict[str, Any]]:
+    """Per-phase statistics extracted from a build trace.
+
+    The build-side analogue of :func:`filter_summaries`: one dict per
+    pipeline phase (``estimate_distribution``, ``plan_index``,
+    ``store_load``, ``embed_corpus``, ``filter_build``) with its
+    duration, I/O delta and phase attributes -- e.g. the
+    ``filter_build`` entry carries entries loaded, pages allocated and
+    the modeled plan-phase makespan.  JSON-safe, in phase order.
+    """
+    summaries = []
+    for name in BUILD_PHASE_SPANS:
+        for span in trace.find(name):
+            summaries.append({
+                "phase": name,
+                "duration_ms": round(span.duration_ms, 3),
+                "io": (
+                    span.io_delta.as_dict()
+                    if span.io_delta is not None else None
+                ),
+                **{
+                    k: _jsonable(v) for k, v in span.attrs.items()
+                    if not k.startswith("_")
+                },
+            })
+    return summaries
+
+
 def explain_json(trace: Span) -> dict[str, Any]:
     """Structured EXPLAIN output for one traced query.
 

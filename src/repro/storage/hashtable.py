@@ -19,7 +19,9 @@ assumed to be allocated adjacently.
 
 from __future__ import annotations
 
-import hashlib
+from typing import Sequence
+
+import numpy as np
 
 from repro.obs import metrics
 from repro.storage.pager import PageManager
@@ -36,11 +38,142 @@ _PROBE_PAGES = metrics.counter("hashtable.probe_pages")
 #: Bucket pages a batched probe did NOT read because several keys of
 #: the batch resolved to the same bucket (read once, served to all).
 _PROBE_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
+#: Chain-tail reads :meth:`BucketHashTable.insert` skipped because the
+#: tail page's fill state was still known from this table's own last
+#: write to the bucket (the page is logically in the writer's buffer).
+_TAIL_READS_SKIPPED = metrics.counter("hashtable.tail_reads_skipped")
+#: Entries and fresh pages loaded through the bulk (build-time) path.
+_BULK_ENTRIES = metrics.counter("hashtable.bulk_entries")
+_BULK_PAGES = metrics.counter("hashtable.bulk_pages")
+
+
+# The key fingerprint is a splitmix64 fold: the splitmix64 finalizer
+# (Vigna's full-avalanche 64-bit mixer) applied over the key's
+# little-endian 64-bit words, seeded by the key length so zero padding
+# of the last word cannot alias keys of different lengths.  Unlike a
+# cryptographic digest this is pure word arithmetic, so the bulk build
+# can fingerprint a whole key matrix with numpy (:func:`hash_words`)
+# while the scalar :func:`hash_key` stays bit-identical word for word.
+_SPLIT_GOLDEN = 0x9E3779B97F4A7C15
+_SPLIT_MIX1 = 0xBF58476D1CE4E5B9
+_SPLIT_MIX2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+# uint64 copies for the vectorized form (numpy wraps mod 2**64, which
+# is exactly the & _MASK64 of the scalar form).
+_V30, _V27, _V31 = np.uint64(30), np.uint64(27), np.uint64(31)
+_VMIX1, _VMIX2 = np.uint64(_SPLIT_MIX1), np.uint64(_SPLIT_MIX2)
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finalizer on one Python int (mod 2**64)."""
+    z = ((z ^ (z >> 30)) * _SPLIT_MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SPLIT_MIX2) & _MASK64
+    return z ^ (z >> 31)
 
 
 def hash_key(key: bytes) -> int:
     """Stable 64-bit hash of a key (independent of PYTHONHASHSEED)."""
-    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "little")
+    h = _mix64((len(key) * _SPLIT_GOLDEN) & _MASK64)
+    for i in range(0, len(key), 8):
+        h = _mix64(h ^ int.from_bytes(key[i : i + 8], "little"))
+    return h
+
+
+def hash_words(words: np.ndarray, key_bytes: int) -> np.ndarray:
+    """Vectorized :func:`hash_key` over a key-word matrix.
+
+    ``words`` holds one key per row as little-endian 64-bit words with
+    the last word zero-padded; every key must be ``key_bytes`` long
+    (fixed-width keys are what bit samplers emit).  Equals
+    ``[hash_key(k) for k in keys]`` bit for bit, but each mixing round
+    is one numpy pass over a column, which is what makes bulk
+    fingerprinting array arithmetic instead of a per-key digest loop.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    h = np.full(
+        words.shape[0],
+        _mix64((key_bytes * _SPLIT_GOLDEN) & _MASK64),
+        dtype=np.uint64,
+    )
+    for j in range(words.shape[1]):
+        z = h ^ words[:, j]
+        z = (z ^ (z >> _V30)) * _VMIX1
+        z = (z ^ (z >> _V27)) * _VMIX2
+        h = z ^ (z >> _V31)
+    return h
+
+
+def _key_word_matrix(keys: Sequence[bytes], width: int) -> np.ndarray:
+    """Pack same-width byte keys into a little-endian uint64 word matrix."""
+    n_words = -(-width // 8)
+    if width == 0:
+        return np.zeros((len(keys), 0), dtype=np.uint64)
+    raw = np.frombuffer(b"".join(keys), dtype=np.uint8).reshape(len(keys), width)
+    if width == n_words * 8:
+        return raw.view("<u8")
+    padded = np.zeros((len(keys), n_words * 8), dtype=np.uint8)
+    padded[:, :width] = raw
+    return padded.view("<u8")
+
+
+def hash_keys(keys: Sequence[bytes]) -> np.ndarray:
+    """:func:`hash_key` over many keys, as a uint64 array.
+
+    Same-width keys (the filter-index case: one bit sampler emits
+    fixed-width keys) take the vectorized :func:`hash_words` path;
+    mixed widths fall back to the scalar loop.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    width = len(keys[0])
+    if any(len(k) != width for k in keys):
+        return np.fromiter(map(hash_key, keys), dtype=np.uint64, count=n)
+    return hash_words(_key_word_matrix(keys, width), width)
+
+
+class UnresolvedTailError(RuntimeError):
+    """A bulk-load plan needs a tail page whose fill state is unknown.
+
+    Raised by :meth:`BucketHashTable.plan_bulk_load` when a target
+    bucket has a chain but no tracked tail occupancy (e.g. after a
+    delete).  Call :meth:`BucketHashTable.resolve_tails` first -- it
+    charges the same reads the per-insert path would have charged.
+    """
+
+
+class _BulkGroup:
+    """One bucket's slice of a bulk-load plan."""
+
+    __slots__ = ("bucket", "entries", "tail_take", "directory")
+
+    def __init__(self, bucket, entries, tail_take, directory):
+        self.bucket = bucket
+        #: (fingerprint, sid) tuples in insertion order.
+        self.entries = entries
+        #: How many lead entries the existing tail page absorbs.
+        self.tail_take = tail_take
+        #: Eagerly built fingerprint -> sids map (fresh buckets only;
+        #: None means the bucket had prior entries and stays lazy).
+        self.directory = directory
+
+
+class BulkLoadPlan:
+    """Pager-free image of one bulk load (see ``plan_bulk_load``).
+
+    Computing a plan touches no pages and mutates nothing, so plans for
+    independent tables can be prepared concurrently; ``apply_bulk_load``
+    then replays them against the pager on one thread.
+    """
+
+    __slots__ = ("n_entries", "groups", "alloc_buckets")
+
+    def __init__(self, n_entries, groups, alloc_buckets):
+        self.n_entries = n_entries
+        self.groups = groups
+        #: Bucket per page allocation, in the exact order the
+        #: sequential per-insert path would have allocated.
+        self.alloc_buckets = alloc_buckets
 
 
 class BucketHashTable:
@@ -71,6 +204,11 @@ class BucketHashTable:
         # page reads, the directory only replaces re-scanning a slot
         # list that has not changed since the last probe.
         self._directory: list[dict[int, list[int]] | None] = [None] * n_buckets
+        # Occupied slots on each bucket's tail page, when known from
+        # this table's own last write (-1 = unknown, must read).  Lets
+        # consecutive inserts into one bucket skip re-reading a page
+        # that is logically still in the writer's buffer.
+        self._tail_slots: list[int] = [-1] * n_buckets
 
     @property
     def n_entries(self) -> int:
@@ -87,20 +225,241 @@ class BucketHashTable:
         return fingerprint % self.n_buckets, fingerprint
 
     def insert(self, key: bytes, sid: int) -> None:
-        """Add a (key, sid) entry.  Duplicates are stored as given."""
+        """Add a (key, sid) entry.  Duplicates are stored as given.
+
+        The chain-tail page is re-read (one charged random read) only
+        when its fill state is unknown; consecutive inserts into one
+        bucket know the tail from their own last write and skip the
+        redundant read entirely.
+        """
         bucket, fingerprint = self._bucket_of(key)
         chain = self._chains[bucket]
+        last = None
         if chain:
-            last = self.pager.read(chain[-1], sequential=False)
-        else:
-            last = None
-        if last is None or last.is_full:
+            known = self._tail_slots[bucket]
+            if known < 0:
+                last = self.pager.read(chain[-1], sequential=False)
+                if last.is_full:
+                    last = None
+            elif known < self.slots_per_page:
+                last = self.pager.peek(chain[-1])
+                _TAIL_READS_SKIPPED.shard().count += 1
+            else:
+                # Tail known full: allocate without touching it.
+                _TAIL_READS_SKIPPED.shard().count += 1
+        if last is None:
             last = self.pager.allocate(self.slots_per_page)
             chain.append(last.page_id)
         last.append((fingerprint, sid))
         self.pager.write(last.page_id)
+        self._tail_slots[bucket] = len(last.slots)
         self._n_entries += 1
         self._directory[bucket] = None
+
+    # -- bulk loading ------------------------------------------------------
+
+    def resolve_tails(self, buckets) -> int:
+        """Read (charged) the tail page of every listed bucket whose
+        fill state is unknown; returns the number of reads charged.
+
+        One random read per such bucket -- exactly what the per-insert
+        path would charge on its first insert into that bucket.
+        """
+        reads = 0
+        for bucket in buckets:
+            chain = self._chains[bucket]
+            if chain and self._tail_slots[bucket] < 0:
+                page = self.pager.read(chain[-1], sequential=False)
+                self._tail_slots[bucket] = len(page.slots)
+                reads += 1
+        return reads
+
+    def plan_bulk_load(
+        self, fingerprints: np.ndarray, sids: Sequence[int]
+    ) -> BulkLoadPlan:
+        """Vectorized bucket-partitioned layout of a bulk insertion.
+
+        Entries are grouped by bucket with one stable argsort, each
+        group's page layout (existing-tail absorption, new-page count)
+        is array arithmetic, and the page-allocation *order* is derived
+        so it matches the sequential per-insert path exactly: a page is
+        opened at the first entry (in input order) that lands on it.
+        Fresh buckets also get their fingerprint directory built here,
+        eagerly.
+
+        Touches no pages and mutates nothing -- plans for independent
+        tables may be computed concurrently -- but requires every
+        target bucket's tail state to be known
+        (:class:`UnresolvedTailError` otherwise; see
+        :meth:`resolve_tails`).
+        """
+        fps = np.ascontiguousarray(fingerprints, dtype=np.uint64)
+        n = len(fps)
+        if n != len(sids):
+            raise ValueError(
+                f"{n} fingerprints but {len(sids)} sids given"
+            )
+        if n == 0:
+            return BulkLoadPlan(0, [], [])
+        slots = self.slots_per_page
+        buckets = (fps % np.uint64(self.n_buckets)).astype(np.int64)
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_buckets[1:] != sorted_buckets[:-1]]
+        )
+        bounds = np.append(starts, n)
+        sizes = np.diff(bounds)
+        group_buckets = sorted_buckets[starts].tolist()
+        # Free slots on each group's existing tail page (0 for fresh
+        # buckets: their first entry opens a page, as in insert()).
+        rems = np.zeros(len(group_buckets), dtype=np.int64)
+        for g, bucket in enumerate(group_buckets):
+            if self._chains[bucket]:
+                occupied = self._tail_slots[bucket]
+                if occupied < 0:
+                    raise UnresolvedTailError(
+                        f"bucket {bucket} has an unread tail page; "
+                        "call resolve_tails() before planning"
+                    )
+                rems[g] = slots - occupied
+        # Within-bucket rank of every entry, then the page-opening
+        # entries: rank == rem, rem + slots, rem + 2*slots, ...
+        ranks = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+        rem_rep = np.repeat(rems, sizes)
+        opens = (ranks >= rem_rep) & ((ranks - rem_rep) % slots == 0)
+        # Allocation schedule in original input order -- the order the
+        # sequential path reaches each page-opening entry.
+        open_orig = order[opens]
+        alloc_buckets = sorted_buckets[opens][np.argsort(open_orig)].tolist()
+        # Materialize entries as the exact Python objects the
+        # per-insert path stores: int fingerprints, caller's sids.
+        sids_arr = np.asarray(sids, dtype=np.int64)
+        all_entries = list(
+            zip(fps[order].tolist(), sids_arr[order].tolist())
+        )
+        sizes_list = sizes.tolist()
+        rems_list = rems.tolist()
+        # Directory runs for fresh buckets: a second stable sort by
+        # (bucket, fingerprint) makes every directory list a contiguous
+        # slice (stable, so slices keep input order).  Bucket is the
+        # primary key, so group boundaries coincide with ``bounds`` and
+        # every group's runs are a contiguous run-index range -- each
+        # directory then assembles at C speed from slice objects,
+        # one dict store per distinct fingerprint instead of a
+        # per-entry append loop.
+        run_keys: list[int] = []
+        run_s: list[int] = []
+        run_e: list[int] = []
+        grp_run = [0] * (len(group_buckets) + 1)
+        get_run = [].__getitem__
+        if any(not self._chains[b] for b in group_buckets):
+            order2 = np.lexsort((fps, buckets))
+            fp2 = fps[order2]
+            get_run = sids_arr[order2].tolist().__getitem__
+            b2 = buckets[order2]
+            run_starts = np.flatnonzero(
+                np.r_[True, (b2[1:] != b2[:-1]) | (fp2[1:] != fp2[:-1])]
+            )
+            run_keys = fp2[run_starts].tolist()
+            run_s = run_starts.tolist()
+            run_e = np.append(run_starts[1:], n).tolist()
+            # Every group boundary starts a run, so side="left" lands
+            # exactly on each group's first run index.
+            grp_run = np.searchsorted(run_starts, bounds).tolist()
+        groups: list[_BulkGroup] = []
+        pos = 0
+        for g, bucket in enumerate(group_buckets):
+            size = sizes_list[g]
+            entries = all_entries[pos : pos + size]
+            pos += size
+            directory: dict[int, list[int]] | None = None
+            if not self._chains[bucket]:
+                a, b = grp_run[g], grp_run[g + 1]
+                directory = dict(
+                    zip(
+                        run_keys[a:b],
+                        map(get_run, map(slice, run_s[a:b], run_e[a:b])),
+                    )
+                )
+            tail_take = rems_list[g]
+            if tail_take > size:
+                tail_take = size
+            groups.append(_BulkGroup(bucket, entries, tail_take, directory))
+        return BulkLoadPlan(n, groups, alloc_buckets)
+
+    def apply_bulk_load(self, plan: BulkLoadPlan) -> dict:
+        """Replay a :meth:`plan_bulk_load` against the pager.
+
+        Produces chains, page contents, directories, ``n_pages`` and
+        write accounting identical to inserting the plan's entries one
+        by one (one charged write per entry plus one per allocated
+        page); fresh buckets come out with their directories already
+        built.  Returns a small load report.
+        """
+        pager = self.pager
+        slots = self.slots_per_page
+        cursors: dict[int, int] = {}
+        by_bucket: dict[int, _BulkGroup] = {}
+        for group in plan.groups:
+            take = group.tail_take
+            if take:
+                pager.peek(self._chains[group.bucket][-1]).slots.extend(
+                    group.entries[:take]
+                )
+            cursors[group.bucket] = take
+            by_bucket[group.bucket] = group
+        for bucket in plan.alloc_buckets:
+            page = pager.allocate(slots)
+            self._chains[bucket].append(page.page_id)
+            group = by_bucket[bucket]
+            start = cursors[bucket]
+            end = min(start + slots, len(group.entries))
+            page.slots.extend(group.entries[start:end])
+            cursors[bucket] = end
+        # One charged write per entry, exactly as the per-insert loop
+        # charges them (allocation writes were charged by allocate()).
+        pager.io.write(plan.n_entries)
+        for group in plan.groups:
+            bucket = group.bucket
+            self._tail_slots[bucket] = len(
+                pager.peek(self._chains[bucket][-1]).slots
+            )
+            # Fresh buckets: install the eagerly built directory (a new
+            # dict, so any frozen view keeps its own).  Buckets with
+            # prior entries follow insert() and go stale.
+            self._directory[bucket] = group.directory
+        self._n_entries += plan.n_entries
+        _BULK_ENTRIES.shard().count += plan.n_entries
+        _BULK_PAGES.shard().count += len(plan.alloc_buckets)
+        return {
+            "entries": plan.n_entries,
+            "new_pages": len(plan.alloc_buckets),
+            "buckets": len(plan.groups),
+        }
+
+    def bulk_load(self, keys: Sequence[bytes], sids: Sequence[int]) -> dict:
+        """Bulk-insert many (key, sid) entries in one partitioned pass.
+
+        Equivalent -- in chains, page ids and contents, directories and
+        I/O accounting -- to ``for key, sid in zip(keys, sids):
+        self.insert(key, sid)``, but the keys are fingerprinted in one
+        pass, partitioned by bucket with a single argsort, and each
+        bucket's page chain is appended in one sweep with its
+        fingerprint directory built eagerly.
+        """
+        return self.bulk_load_hashed(hash_keys(keys), sids)
+
+    def bulk_load_hashed(
+        self, fingerprints: np.ndarray, sids: Sequence[int]
+    ) -> dict:
+        """:meth:`bulk_load` for pre-computed ``hash_key`` fingerprints."""
+        fps = np.ascontiguousarray(fingerprints, dtype=np.uint64)
+        touched = np.unique(fps % np.uint64(self.n_buckets)).astype(np.int64)
+        tail_reads = self.resolve_tails(touched.tolist())
+        report = self.apply_bulk_load(self.plan_bulk_load(fps, sids))
+        report["tail_reads"] = tail_reads
+        return report
 
     def _bucket_directory(self, bucket: int) -> dict[int, list[int]]:
         """The bucket's fingerprint -> sids map, rebuilt if stale.
@@ -153,13 +512,12 @@ class BucketHashTable:
         """
         results: list[list[int]] = [[] for _ in keys]
         by_bucket: dict[int, list[tuple[int, int]]] = {}
-        # _bucket_of inlined: this loop runs once per key per table and
-        # the two extra call frames are measurable at batch granularity.
-        blake2b, n_buckets = hashlib.blake2b, self.n_buckets
+        # _bucket_of unrolled to a local alias: this loop runs once per
+        # key per table and the extra call frame is measurable at batch
+        # granularity.
+        hk, n_buckets = hash_key, self.n_buckets
         for i, key in enumerate(keys):
-            fingerprint = int.from_bytes(
-                blake2b(key, digest_size=8).digest(), "little"
-            )
+            fingerprint = hk(key)
             bucket = fingerprint % n_buckets
             if bucket in by_bucket:
                 by_bucket[bucket].append((i, fingerprint))
@@ -201,8 +559,12 @@ class BucketHashTable:
                 self.pager.write(page.page_id)
             if not last_page.slots:
                 self.pager.free(chain.pop())
+                # The surviving tail was not touched here; forget its
+                # fill state so the next insert re-reads it.
+                self._tail_slots[bucket] = -1
             else:
                 self.pager.write(last_page.page_id)
+                self._tail_slots[bucket] = len(last_page.slots)
             self._n_entries -= 1
             self._directory[bucket] = None
             return True
@@ -302,11 +664,9 @@ class FrozenTableView:
         """
         results: list[list[int]] = [[] for _ in keys]
         by_bucket: dict[int, list[tuple[int, int]]] = {}
-        blake2b, n_buckets = hashlib.blake2b, self.n_buckets
+        hk, n_buckets = hash_key, self.n_buckets
         for i, key in enumerate(keys):
-            fingerprint = int.from_bytes(
-                blake2b(key, digest_size=8).digest(), "little"
-            )
+            fingerprint = hk(key)
             bucket = fingerprint % n_buckets
             if bucket in by_bucket:
                 by_bucket[bucket].append((i, fingerprint))

@@ -1,0 +1,228 @@
+"""Equivalence and report tests for the bulk build pipeline.
+
+The contract under test (repro.exec.build + the bulk paths it drives):
+a bulk-built index is *bit-identical* to the legacy per-entry insert
+build -- same page chains (including page ids), same page contents,
+same bucket directories, same I/O accounting -- at every worker count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import SimilarityDistribution
+from repro.core.index import SetSimilarityIndex
+from repro.core.optimizer import plan_index
+from repro.exec.build import build_units, bulk_load_filters, lpt_makespan
+from repro.obs.explain import BUILD_PHASE_SPANS, build_summaries
+
+
+def _collection(n_sets=60, seed=0, universe=400):
+    rng = np.random.default_rng(seed)
+    return [
+        frozenset(
+            int(e)
+            for e in rng.choice(universe, size=int(rng.integers(3, 25)),
+                                replace=False)
+        )
+        for _ in range(n_sets)
+    ]
+
+
+def _plan_for(sets, budget=60):
+    dist = SimilarityDistribution.from_sets(sets, n_bins=50)
+    plan = plan_index(dist, budget, recall_target=0.85, b=4)
+    return dist, plan
+
+
+def _build(sets, dist, plan, **kwargs):
+    return SetSimilarityIndex.from_plan(
+        sets, plan, dist, k=32, b=4, seed=3, **kwargs
+    )
+
+
+def _filters_of(index):
+    """(key, filter) pairs in a comparison-stable order, DFIs unwrapped."""
+    out = []
+    for kind, filters in (("sfi", index._sfis), ("dfi", index._dfis)):
+        for point, fi in sorted(filters.items()):
+            out.append((f"{kind}({point})", fi._sfi if hasattr(fi, "_sfi") else fi))
+    return out
+
+
+def _assert_bit_identical(a, b):
+    """Every chain, page, directory and counter of ``b`` matches ``a``."""
+    filters_a, filters_b = _filters_of(a), _filters_of(b)
+    assert [k for k, _ in filters_a] == [k for k, _ in filters_b]
+    for (key, fa), (_, fb) in zip(filters_a, filters_b):
+        for ta, tb in zip(fa._tables, fb._tables):
+            assert ta._chains == tb._chains, key  # page ids included
+            assert ta.n_entries == tb.n_entries
+            assert ta.load_stats() == tb.load_stats()
+            for chain in ta._chains:
+                for pid in chain:
+                    assert (
+                        ta.pager.peek(pid).slots == tb.pager.peek(pid).slots
+                    ), key
+            for bucket in range(ta.n_buckets):
+                assert (
+                    ta._bucket_directory(bucket) == tb._bucket_directory(bucket)
+                ), key
+    assert a._sizes == b._sizes
+    assert set(a._vectors) == set(b._vectors)
+    for sid in a._vectors:
+        assert np.array_equal(a._vectors[sid], b._vectors[sid])
+        assert np.array_equal(a._chashes[sid], b._chashes[sid])
+
+
+class TestBuildEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_bulk_matches_insert_bit_identical(self, workers):
+        sets = _collection(n_sets=80, seed=7)
+        dist, plan = _plan_for(sets)
+        a = _build(sets, dist, plan, build_method="insert")
+        io_a = a.io.snapshot()  # before any probe perturbs the counters
+        b = _build(sets, dist, plan, build_method="bulk", workers=workers)
+        io_b = b.io.snapshot()
+        assert io_a.as_dict() == io_b.as_dict(), workers
+        _assert_bit_identical(a, b)
+
+    @pytest.mark.parametrize("seed", [0, 11, 23])
+    def test_query_results_identical(self, seed):
+        sets = _collection(n_sets=50, seed=seed)
+        dist, plan = _plan_for(sets)
+        a = _build(sets, dist, plan, build_method="insert")
+        b = _build(sets, dist, plan, build_method="bulk", workers=4)
+        rng = np.random.default_rng(seed)
+        for _ in range(6):
+            q = sets[int(rng.integers(len(sets)))]
+            lo = float(rng.uniform(0.0, 0.6))
+            hi = float(rng.uniform(lo, 1.0))
+            ra = a.query(q, lo, hi)
+            rb = b.query(q, lo, hi)
+            assert ra.answers == rb.answers
+            assert ra.candidates == rb.candidates
+            assert ra.io.as_dict() == rb.io.as_dict()
+
+    def test_empty_collection(self):
+        sets = _collection(n_sets=10, seed=5)
+        dist, plan = _plan_for(sets)
+        index = _build([], dist, plan, build_method="bulk")
+        assert index.n_sets == 0
+        assert index.build_report is None or index.build_report["filters"] is None
+
+    def test_validation(self):
+        sets = _collection(n_sets=5, seed=1)
+        dist, plan = _plan_for(sets)
+        with pytest.raises(ValueError):
+            _build(sets, dist, plan, build_method="bogus")
+        with pytest.raises(ValueError):
+            _build(sets, dist, plan, workers=0)
+        with pytest.raises(ValueError):
+            bulk_load_filters([], np.zeros((0, 1), dtype=np.uint8), [], workers=0)
+
+
+class TestBuildReport:
+    def test_report_structure(self):
+        sets = _collection(n_sets=40, seed=3)
+        dist, plan = _plan_for(sets)
+        index = _build(sets, dist, plan, build_method="bulk", workers=2)
+        report = index.build_report
+        assert report is not None
+        assert report["n_sets"] == len(sets)
+        assert set(report["phases"]) >= {
+            "store_load_seconds", "embed_corpus_seconds",
+        }
+        filters = report["filters"]
+        n_units = len(build_units(list(index._all_filters())))
+        assert filters["workers"] == 2
+        assert filters["n_units"] == n_units
+        assert filters["entries"] == len(sets) * n_units
+        assert filters["tail_replans"] == 0  # fresh tables: tails known
+        assert len(filters["units"]) == n_units
+        for unit in filters["units"]:
+            assert unit["entries"] == len(sets)
+            assert unit["plan_seconds"] >= 0.0
+            assert unit["label"]
+
+    def test_insert_build_attaches_no_report(self):
+        sets = _collection(n_sets=20, seed=9)
+        dist, plan = _plan_for(sets)
+        index = _build(sets, dist, plan, build_method="insert")
+        assert index.build_report is None
+
+    def test_build_classmethod_adds_planning_phases(self):
+        sets = _collection(n_sets=30, seed=2)
+        index = SetSimilarityIndex.build(
+            sets, budget=40, recall_target=0.85, k=32, b=4, seed=1, workers=2
+        )
+        phases = index.build_report["phases"]
+        assert "estimate_distribution_seconds" in phases
+        assert "plan_index_seconds" in phases
+
+    def test_harness_build_summary_strips_units(self):
+        from repro.eval.harness import ExperimentHarness
+
+        sets = _collection(n_sets=30, seed=4)
+        dist, plan = _plan_for(sets)
+        index = _build(sets, dist, plan, build_method="bulk")
+        summary = ExperimentHarness(sets, index).build_summary()
+        assert summary is not None
+        assert "units" not in summary["filters"]
+        assert summary["filters"]["entries"] == index.build_report["filters"]["entries"]
+        baseline = _build(sets, dist, plan, build_method="insert")
+        assert ExperimentHarness(sets, baseline).build_summary() is None
+
+
+class TestBuildTrace:
+    def test_explain_build_spans(self):
+        sets = _collection(n_sets=30, seed=6)
+        index = SetSimilarityIndex.build(
+            sets, budget=40, recall_target=0.85, k=32, b=4, seed=1,
+            explain=True,
+        )
+        root = index.build_trace
+        assert root is not None and root.name == "build"
+        names = {span.name for span in root.walk()}
+        assert set(BUILD_PHASE_SPANS) <= names
+        summaries = build_summaries(root)
+        assert [s["phase"] for s in summaries] == list(BUILD_PHASE_SPANS)
+        fb = next(s for s in summaries if s["phase"] == "filter_build")
+        assert fb["entries"] == index.build_report["filters"]["entries"]
+
+    def test_untraced_build_has_no_trace(self):
+        sets = _collection(n_sets=15, seed=8)
+        index = SetSimilarityIndex.build(
+            sets, budget=40, recall_target=0.85, k=32, b=4, seed=1
+        )
+        assert index.build_trace is None
+
+    def test_build_trace_not_pickled(self, tmp_path):
+        sets = _collection(n_sets=15, seed=8)
+        index = SetSimilarityIndex.build(
+            sets, budget=40, recall_target=0.85, k=32, b=4, seed=1,
+            explain=True,
+        )
+        assert index.build_trace is not None
+        path = tmp_path / "index.ssi"
+        index.save(path)
+        loaded = SetSimilarityIndex.load(path)
+        assert loaded.build_trace is None
+
+
+class TestLptMakespan:
+    def test_single_worker_is_sum(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 1) == pytest.approx(6.0)
+
+    def test_no_tasks(self):
+        assert lpt_makespan([], 4) == 0.0
+
+    def test_bounded_by_max_and_sum(self):
+        tasks = [5.0, 3.0, 3.0, 2.0, 1.0]
+        for workers in (2, 3, 8):
+            span = lpt_makespan(tasks, workers)
+            assert max(tasks) <= span <= sum(tasks)
+
+    def test_more_workers_never_slower(self):
+        tasks = [4.0, 3.0, 2.0, 2.0, 1.0, 1.0]
+        spans = [lpt_makespan(tasks, w) for w in (1, 2, 3, 4)]
+        assert spans == sorted(spans, reverse=True)

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.core.distribution import (
     SimilarityDistribution,
+    _exact_pairwise_loop,
+    exact_pairwise_similarities,
     sample_pairwise_similarities,
     signature_pairwise_similarities,
 )
@@ -180,3 +182,80 @@ class TestPairSampling:
         est = signature_pairwise_similarities(signatures, 3000, np.random.default_rng(3))
         exact = sample_pairwise_similarities(sets, 3000, np.random.default_rng(3))
         assert abs(np.mean(est) - np.mean(exact)) < 0.03
+
+
+def _random_sets(n, seed, universe=60, max_size=15):
+    rng = np.random.default_rng(seed)
+    return [
+        frozenset(
+            int(e)
+            for e in rng.choice(
+                universe,
+                size=int(rng.integers(0, max_size + 1)),
+                replace=False,
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+class TestExactPairwise:
+    """The columnar exact branch must be bit-identical to the per-pair
+    Python loop, including its edge-case conventions."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_columnar_matches_loop(self, seed):
+        sets = _random_sets(int(np.random.default_rng(seed).integers(2, 30)), seed)
+        fast = exact_pairwise_similarities(sets)
+        slow = _exact_pairwise_loop(sets)
+        assert np.array_equal(fast, slow)
+
+    def test_empty_sets_follow_jaccard_convention(self):
+        # jaccard(empty, empty) == 1.0; empty vs non-empty == 0.0.
+        sets = [frozenset(), frozenset({1, 2}), frozenset(), frozenset({2})]
+        fast = exact_pairwise_similarities(sets)
+        slow = _exact_pairwise_loop(sets)
+        assert np.array_equal(fast, slow)
+        assert fast[1] == 1.0  # (0, 2): empty vs empty
+        assert fast[0] == 0.0  # (0, 1): empty vs non-empty
+
+    @pytest.mark.parametrize("sets", [[], [frozenset({1, 2, 3})]])
+    def test_degenerate_collections(self, sets):
+        assert exact_pairwise_similarities(sets).size == 0
+        assert _exact_pairwise_loop(sets).size == 0
+
+    def test_singleton_element_sets(self):
+        sets = [frozenset({i}) for i in range(5)] + [frozenset({0})]
+        fast = exact_pairwise_similarities(sets)
+        slow = _exact_pairwise_loop(sets)
+        assert np.array_equal(fast, slow)
+        assert fast[4] == 1.0  # (0, 5): identical singletons
+
+    @given(st.lists(st.frozensets(st.integers(0, 40), max_size=12), max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_columnar_matches_loop_property(self, sets):
+        assert np.array_equal(
+            exact_pairwise_similarities(sets), _exact_pairwise_loop(sets)
+        )
+
+
+class TestFromSetsExactMethods:
+    def test_columnar_equals_loop_histogram(self):
+        sets = _random_sets(25, seed=3)
+        fast = SimilarityDistribution.from_sets(sets, n_bins=40)
+        slow = SimilarityDistribution.from_sets(
+            sets, n_bins=40, exact_method="loop"
+        )
+        assert np.array_equal(fast.mass, slow.mass)
+
+    def test_oversized_sample_falls_back_to_exact(self):
+        sets = _three_sets()  # 3 pairs total
+        exact = SimilarityDistribution.from_sets(sets, n_bins=10)
+        sampled = SimilarityDistribution.from_sets(
+            sets, n_bins=10, sample_pairs=1000
+        )
+        assert np.array_equal(sampled.mass, exact.mass)
+
+    def test_unknown_exact_method_raises(self):
+        with pytest.raises(ValueError, match="exact_method"):
+            SimilarityDistribution.from_sets(_three_sets(), exact_method="magic")

@@ -175,3 +175,81 @@ class TestDissimilarityFilterIndex:
         assert dfi.n_tables == 8
         assert dfi.r == dfi.filter.r
         assert "0.4" in repr(dfi)
+
+
+class TestInsertMany:
+    """Validation and equivalence of the vectorized bulk entry point."""
+
+    def _pair(self, n_bits=256, n_tables=4, seed=51):
+        a = SimilarityFilterIndex(0.6, n_tables, n_bits, _pager(), seed=seed)
+        b = SimilarityFilterIndex(0.6, n_tables, n_bits, _pager(), seed=seed)
+        return a, b
+
+    def test_bulk_equals_insert_method(self):
+        n_bits = 256
+        a, b = self._pair(n_bits)
+        matrix = _random_vectors(30, n_bits, seed=52)
+        sids = list(range(30))
+        a.insert_many(matrix, sids, method="bulk")
+        b.insert_many(matrix, sids, method="insert")
+        io_a = a._tables[0].pager.io.snapshot()
+        io_b = b._tables[0].pager.io.snapshot()
+        assert io_a.as_dict() == io_b.as_dict()
+        q = _random_vectors(1, n_bits, seed=53)[0]
+        assert a.probe(q) == b.probe(q)
+        assert a.n_entries == b.n_entries
+
+    def test_duplicate_sids_raise(self):
+        sfi, _ = self._pair()
+        matrix = _random_vectors(3, 256, seed=54)
+        with pytest.raises(ValueError, match="duplicate sids"):
+            sfi.insert_many(matrix, [1, 2, 1])
+        assert sfi.n_entries == 0  # nothing was half-applied
+
+    def test_shape_mismatch_raises(self):
+        sfi, _ = self._pair()
+        matrix = _random_vectors(3, 256, seed=55)
+        with pytest.raises(ValueError, match="rows"):
+            sfi.insert_many(matrix, [1, 2])
+
+    def test_unknown_method_raises(self):
+        sfi, _ = self._pair()
+        matrix = _random_vectors(2, 256, seed=56)
+        with pytest.raises(ValueError, match="method"):
+            sfi.insert_many(matrix, [1, 2], method="turbo")
+
+    def test_empty_matrix_is_a_noop(self):
+        sfi, _ = self._pair()
+        matrix = _random_vectors(4, 256, seed=57)[:0]
+        before = sfi._tables[0].pager.io.snapshot()
+        sfi.insert_many(matrix, [])
+        assert sfi.n_entries == 0
+        assert sfi._tables[0].pager.io.snapshot().as_dict() == before.as_dict()
+
+    def test_non_contiguous_matrix_accepted(self):
+        n_bits = 256
+        a, b = self._pair(n_bits)
+        full = _random_vectors(20, n_bits, seed=58)
+        strided = full[::2]
+        assert not strided.flags["C_CONTIGUOUS"]
+        a.insert_many(strided, list(range(10)))
+        b.insert_many(np.ascontiguousarray(strided), list(range(10)))
+        q = _random_vectors(1, n_bits, seed=59)[0]
+        assert a.probe(q) == b.probe(q)
+        fortran = np.asfortranarray(full[:10])
+        c = SimilarityFilterIndex(0.6, 4, n_bits, _pager(), seed=51)
+        c.insert_many(fortran, list(range(10)))
+        d = SimilarityFilterIndex(0.6, 4, n_bits, _pager(), seed=51)
+        d.insert_many(np.ascontiguousarray(full[:10]), list(range(10)))
+        assert c.probe(q) == d.probe(q)
+
+    def test_dfi_delegates(self):
+        n_bits = 256
+        dfi = DissimilarityFilterIndex(0.4, 4, n_bits, _pager(), seed=61)
+        matrix = _random_vectors(5, n_bits, seed=62)
+        with pytest.raises(ValueError, match="duplicate sids"):
+            dfi.insert_many(matrix, [0, 0, 1, 2, 3])
+        dfi.insert_many(matrix, list(range(5)))
+        assert dfi.n_entries == 5
+        units = dfi.table_units()
+        assert len(units) == 4

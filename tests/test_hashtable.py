@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.hashtable import BucketHashTable, hash_key
+from repro.obs import metrics
+from repro.storage.hashtable import (
+    BucketHashTable,
+    UnresolvedTailError,
+    hash_key,
+    hash_keys,
+)
 from repro.storage.iomodel import IOCostModel
 from repro.storage.pager import PageManager
 
@@ -183,3 +189,134 @@ class TestDirectoryInvalidation:
         assert table._directory[victim_bucket] is None
         for b in warmed:
             assert table._directory[b] is not None
+
+
+def _keyed_workload(n, seed):
+    """Random (keys, sids) with plenty of bucket and key repetition."""
+    rng = np.random.default_rng(seed)
+    keys = [f"key-{int(k)}".encode() for k in rng.integers(0, max(2, n // 3), size=n)]
+    return keys, list(range(n))
+
+
+class TestBulkLoadEquivalence:
+    """The bulk path must be indistinguishable from the insert loop:
+    same chains (page ids included), same page contents, same
+    load_stats, same I/O accounting."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n_buckets", [1, 7])
+    def test_load_stats_regression(self, seed, n_buckets):
+        keys, sids = _keyed_workload(60, seed)
+        seq = _table(n_buckets=n_buckets, page_size=64)
+        for key, sid in zip(keys, sids):
+            seq.insert(key, sid)
+        bulk = _table(n_buckets=n_buckets, page_size=64)
+        bulk.bulk_load(keys, sids)
+        assert bulk.load_stats() == seq.load_stats()
+        assert bulk._chains == seq._chains
+        assert bulk.bucket_occupancies() == seq.bucket_occupancies()
+        for chain in seq._chains:
+            for pid in chain:
+                assert bulk.pager.peek(pid).slots == seq.pager.peek(pid).slots
+        assert bulk.pager.io.snapshot().as_dict() == seq.pager.io.snapshot().as_dict()
+
+    def test_probe_equivalence(self):
+        keys, sids = _keyed_workload(40, 3)
+        seq = _table(n_buckets=4, page_size=64)
+        for key, sid in zip(keys, sids):
+            seq.insert(key, sid)
+        bulk = _table(n_buckets=4, page_size=64)
+        bulk.bulk_load(keys, sids)
+        for key in set(keys):
+            assert bulk.probe(key) == seq.probe(key)
+
+    def test_fresh_buckets_get_eager_directories(self):
+        keys, sids = _keyed_workload(30, 4)
+        bulk = _table(n_buckets=4, page_size=64)
+        bulk.bulk_load(keys, sids)
+        for bucket, chain in enumerate(bulk._chains):
+            if chain:
+                assert bulk._directory[bucket] is not None
+
+    def test_bulk_load_onto_existing_entries(self):
+        keys, sids = _keyed_workload(50, 5)
+        seq = _table(n_buckets=2, page_size=64)
+        mixed = _table(n_buckets=2, page_size=64)
+        for key, sid in zip(keys[:20], sids[:20]):
+            seq.insert(key, sid)
+            mixed.insert(key, sid)
+        for key, sid in zip(keys[20:], sids[20:]):
+            seq.insert(key, sid)
+        mixed.bulk_load(keys[20:], sids[20:])
+        assert mixed._chains == seq._chains
+        assert mixed.load_stats() == seq.load_stats()
+        assert mixed.pager.io.snapshot().as_dict() == seq.pager.io.snapshot().as_dict()
+
+    def test_unresolved_tail_raises_then_resolves(self):
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(5):  # two pages: 4 + 1
+            table.insert(b"k", i)
+        assert table.delete(b"k", 4)  # frees the tail page -> state unknown
+        fps = hash_keys([b"k2"])
+        with pytest.raises(UnresolvedTailError):
+            table.plan_bulk_load(fps, [99])
+        before = table.pager.io.snapshot()
+        report = table.bulk_load([b"k2"], [99])
+        delta = table.pager.io.snapshot() - before
+        assert report["tail_reads"] == 1
+        assert delta.random_reads == 1  # the one charged tail resolve
+        assert table.probe(b"k2") == [99]
+
+    def test_empty_bulk_load(self):
+        table = _table()
+        report = table.bulk_load([], [])
+        assert report["entries"] == 0
+        assert table.n_entries == 0
+        assert table.pager.io.snapshot().as_dict()["page_writes"] == 0
+
+    def test_length_mismatch_raises(self):
+        table = _table()
+        with pytest.raises(ValueError):
+            table.plan_bulk_load(hash_keys([b"a", b"b"]), [1])
+
+
+class TestTailReadAccounting:
+    """insert() must not re-read a tail page whose fill state it wrote
+    itself; only genuinely unknown tails (post-delete) cost a read."""
+
+    def test_consecutive_inserts_charge_no_reads(self):
+        table = _table(n_buckets=1, page_size=64)
+        skipped = metrics.counter("hashtable.tail_reads_skipped")
+        skipped_before = skipped.local_value
+        before = table.pager.io.snapshot()
+        for i in range(10):  # 3 pages: 4 + 4 + 2
+            table.insert(b"k", i)
+        delta = table.pager.io.snapshot() - before
+        assert delta.random_reads == 0
+        assert delta.sequential_reads == 0
+        # One entry write per insert plus one write per allocated page.
+        assert delta.page_writes == 10 + 3
+        assert table.n_pages == 3
+        # Every insert after the first knew the tail from its own write.
+        assert skipped.local_value - skipped_before == 9
+
+    def test_delete_freeing_tail_forces_one_reread(self):
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(5):  # pages of 4 + 1
+            table.insert(b"k", i)
+        assert table.delete(b"k", 4)  # tail page freed, survivor unread
+        before = table.pager.io.snapshot()
+        table.insert(b"k", 5)
+        delta = table.pager.io.snapshot() - before
+        assert delta.random_reads == 1  # the unavoidable tail re-read
+
+    def test_delete_keeping_tail_tracks_state(self):
+        table = _table(n_buckets=1, page_size=64)
+        for i in range(6):  # pages of 4 + 2
+            table.insert(b"k", i)
+        assert table.delete(b"k", 0)  # tail shrinks to 1, state tracked
+        before = table.pager.io.snapshot()
+        table.insert(b"k", 6)
+        delta = table.pager.io.snapshot() - before
+        assert delta.random_reads == 0
+        assert sorted(table.probe(b"k")) == [1, 2, 3, 4, 5, 6]
