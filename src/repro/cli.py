@@ -7,6 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli explain --index index.ssi --set "a b c" --low 0.4 --high 0.9 [--json]
     python -m repro.cli stats   --index index.ssi
     python -m repro.cli demo    [--n-sets 500]
+    python -m repro.cli snapshot save   --index index.ssi --out snap.d
+    python -m repro.cli snapshot info   --path snap.d
+    python -m repro.cli snapshot verify --path snap.d
+    python -m repro.cli snapshot serve  --path snap.d --set "a b c" --low 0.4 [--workers N --backend process]
 
 The input format for ``build`` is one set per line, elements separated
 by whitespace (elements are treated as opaque strings); ``build
@@ -23,6 +27,14 @@ candidate -- printing ``query_index<TAB>sid<TAB>similarity`` lines.
 identical at any worker count.  ``explain`` runs the query purely
 for its plan tree (or structured JSON with ``--json``).  ``-v``/``-vv``
 raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
+
+``snapshot save`` writes a zero-copy mmap snapshot directory
+(:mod:`repro.exec.snapfile`) that ``snapshot serve`` / ``query
+--snapshot DIR`` open in O(ms) -- no pickle deserialization pass.
+``--backend process`` serves the batch from worker *processes* that
+each map the same snapshot (spawn start method, genuine multi-core);
+answers and accounting stay bit-identical to the sequential path at
+any worker count and backend.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.index import SetSimilarityIndex
@@ -94,13 +107,52 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_batch(batch) -> None:
+    """Batch output: one ``query_index<TAB>sid<TAB>similarity`` line
+    per answer, plus the batch summary on stderr."""
+    for i, result in enumerate(batch.results):
+        for sid, similarity in result.answers:
+            print(f"{i}\t{sid}\t{similarity:.4f}")
+    print(
+        f"# batch of {batch.n_queries} queries: {batch.n_verified} answers "
+        f"from {batch.n_candidates} candidates, "
+        f"{batch.pages_saved} bucket pages + {batch.fetches_saved} fetches "
+        f"saved vs looping, simulated time {batch.total_time:.0f}",
+        file=sys.stderr,
+    )
+
+
+def _snapshot_batch(path, query_sets, args, explain: bool):
+    """Open a mapped snapshot and serve one batch on the chosen backend."""
+    from repro.exec import ParallelExecutor, open_snapshot
+
+    t0 = time.perf_counter()
+    snapshot = open_snapshot(path)
+    open_ms = (time.perf_counter() - t0) * 1e3
+    print(
+        f"# snapshot {path}: opened in {open_ms:.1f} ms ({snapshot.n_sets} sets), "
+        f"backend={args.backend}, workers={args.workers}",
+        file=sys.stderr,
+    )
+    with ParallelExecutor(
+        snapshot, workers=args.workers, backend=args.backend
+    ) as executor:
+        return executor.query_batch(
+            query_sets, args.low, args.high,
+            strategy=args.strategy, explain=explain,
+        )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run similarity range queries against a saved index.
 
     One query set (a single ``--set``) runs through the scalar path;
     several (repeated ``--set`` and/or ``--sets-file``) run as one
     batched execution sharing bucket reads and candidate fetches, with
-    per-query answer blocks prefixed by the query's position.
+    per-query answer blocks prefixed by the query's position.  With
+    ``--snapshot DIR`` the queries are served from a mapped snapshot
+    (always as a batch) on ``--workers`` threads or -- with
+    ``--backend process`` -- worker processes.
     """
     query_sets = [frozenset(s.split()) for s in (args.set or [])]
     if args.sets_file:
@@ -109,8 +161,26 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("error: no query sets given (use --set and/or --sets-file)",
               file=sys.stderr)
         return 2
-    index = SetSimilarityIndex.load(args.index)
+    if bool(args.index) == bool(args.snapshot):
+        print("error: give exactly one of --index or --snapshot",
+              file=sys.stderr)
+        return 2
     explain = args.explain or args.explain_json
+    if args.snapshot:
+        batch = _snapshot_batch(args.snapshot, query_sets, args, explain)
+        _print_batch(batch)
+        trace_root = batch.trace
+        if args.explain:
+            print(render_trace(trace_root))
+        if args.explain_json:
+            print(json.dumps(explain_json(trace_root), indent=2))
+        return 0
+    if args.backend == "process":
+        print("error: --backend process requires --snapshot "
+              "(worker processes map a saved snapshot directory)",
+              file=sys.stderr)
+        return 2
+    index = SetSimilarityIndex.load(args.index)
     if len(query_sets) == 1:
         result = index.query(
             query_sets[0], args.low, args.high,
@@ -142,16 +212,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                 query_sets, args.low, args.high,
                 strategy=args.strategy, explain=explain,
             )
-        for i, result in enumerate(batch.results):
-            for sid, similarity in result.answers:
-                print(f"{i}\t{sid}\t{similarity:.4f}")
-        print(
-            f"# batch of {batch.n_queries} queries: {batch.n_verified} answers "
-            f"from {batch.n_candidates} candidates, "
-            f"{batch.pages_saved} bucket pages + {batch.fetches_saved} fetches "
-            f"saved vs looping, simulated time {batch.total_time:.0f}",
-            file=sys.stderr,
-        )
+        _print_batch(batch)
         trace_root = batch.trace
     if args.explain:
         print(render_trace(trace_root))
@@ -202,6 +263,84 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"occupancy avg/max {fs['avg_occupancy']:.2f}/{fs['max_occupancy']}, "
             f"longest chain {fs['max_chain_pages']} page(s)"
         )
+    pager = index.pager
+    print(
+        f"buffer pool:       cache_pages={pager.cache_pages}, "
+        f"hits={pager.cache_hits}, misses={pager.cache_misses}, "
+        f"hit ratio {pager.cache_hit_ratio:.3f}"
+        + ("" if pager.cache_pages else " (disabled)")
+    )
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """``snapshot``: save/inspect/verify/serve zero-copy snapshots.
+
+    ``save`` freezes a pickle-loaded index into a mapped-array
+    directory; ``info`` prints the manifest summary (O(ms) open);
+    ``verify`` checksums every array; ``serve`` answers a query batch
+    straight from the mapped snapshot -- the cold-start path that never
+    pays a pickle deserialization.
+    """
+    if args.snapshot_command == "save":
+        index = SetSimilarityIndex.load(args.index)
+        t0 = time.perf_counter()
+        index.save_snapshot(args.out)
+        seconds = time.perf_counter() - t0
+        from repro.exec.snapfile import MANIFEST_FILE
+
+        manifest = json.loads((Path(args.out) / MANIFEST_FILE).read_text())
+        print(
+            f"snapshot {args.out}: {manifest['n_sets']} sets, "
+            f"{len(manifest['arrays'])} arrays, "
+            f"{manifest['arrays_bytes']:,} array bytes "
+            f"(elements as {manifest['sets_encoding']}) in {seconds:.2f}s"
+        )
+        return 0
+    if args.snapshot_command == "info":
+        from repro.exec import open_snapshot
+
+        t0 = time.perf_counter()
+        snapshot = open_snapshot(args.path)
+        open_ms = (time.perf_counter() - t0) * 1e3
+        m = snapshot.manifest
+        cost = m["cost"]
+        print(f"snapshot:          {args.path} (opened in {open_ms:.1f} ms)")
+        print(f"format:            {m['format']} v{m['version']}")
+        print(f"sets:              {m['n_sets']} (elements as {m['sets_encoding']})")
+        print(f"arrays:            {len(m['arrays'])} mapped, {m['arrays_bytes']:,} bytes")
+        print(f"embedding bits:    D={m['n_bits']}")
+        print(f"scan pages:        {m['scan_pages']}")
+        print(f"cost model:        seq={cost['seq_cost']}, "
+              f"random={cost['random_cost']}, cpu={cost['cpu_cost']}")
+        for f in m["filters"]:
+            print(f"  {f['kind'].upper()} @ {f['point']:.3f}: "
+                  f"l={f['l']}, r={f['r']}, s*={f['threshold']:.3f}")
+        return 0
+    if args.snapshot_command == "verify":
+        from repro.exec import SnapshotError, verify_snapshot
+
+        try:
+            summary = verify_snapshot(args.path)
+        except SnapshotError as exc:
+            print(f"FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {summary['n_arrays']} arrays "
+            f"({summary['arrays_bytes']:,} bytes), {summary['n_sets']} sets, "
+            f"{summary['filters']} filters -- all checksums pass"
+        )
+        return 0
+    # serve
+    query_sets = [frozenset(s.split()) for s in (args.set or [])]
+    if args.sets_file:
+        query_sets.extend(read_sets(Path(args.sets_file)))
+    if not query_sets:
+        print("error: no query sets given (use --set and/or --sets-file)",
+              file=sys.stderr)
+        return 2
+    batch = _snapshot_batch(args.path, query_sets, args, explain=False)
+    _print_batch(batch)
     return 0
 
 
@@ -252,7 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.set_defaults(func=cmd_build)
 
     p_query = sub.add_parser("query", help="run similarity range queries")
-    p_query.add_argument("--index", required=True)
+    p_query.add_argument("--index", help="a saved index file (pickle format)")
+    p_query.add_argument(
+        "--snapshot",
+        help="a zero-copy snapshot directory (see `snapshot save`); "
+             "opened in O(ms) and always served as a batch",
+    )
     p_query.add_argument(
         "--set", action="append",
         help="query elements, space separated (repeat for a batch)",
@@ -276,8 +420,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--workers", type=int, default=1,
-        help="serve a batch from a frozen snapshot on this many threads "
+        help="serve a batch from a frozen snapshot on this many workers "
              "(results and accounting are identical at any count)",
+    )
+    p_query.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker pool backend; 'process' maps a saved --snapshot "
+             "from each worker process (genuine multi-core)",
     )
     p_query.set_defaults(func=cmd_query)
 
@@ -305,6 +454,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="build and query a synthetic demo index")
     p_demo.add_argument("--n-sets", type=int, default=500)
     p_demo.set_defaults(func=cmd_demo)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="zero-copy mmap snapshots: save, inspect, verify, serve"
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+
+    p_snap_save = snap_sub.add_parser(
+        "save", help="freeze a saved index into a mapped-array directory"
+    )
+    p_snap_save.add_argument("--index", required=True, help="a saved index file")
+    p_snap_save.add_argument("--out", required=True, help="snapshot directory to write")
+    p_snap_save.set_defaults(func=cmd_snapshot)
+
+    p_snap_info = snap_sub.add_parser(
+        "info", help="print a snapshot's manifest summary"
+    )
+    p_snap_info.add_argument("--path", required=True, help="snapshot directory")
+    p_snap_info.set_defaults(func=cmd_snapshot)
+
+    p_snap_verify = snap_sub.add_parser(
+        "verify", help="checksum every array in a snapshot"
+    )
+    p_snap_verify.add_argument("--path", required=True, help="snapshot directory")
+    p_snap_verify.set_defaults(func=cmd_snapshot)
+
+    p_snap_serve = snap_sub.add_parser(
+        "serve", help="answer a query batch straight from a mapped snapshot"
+    )
+    p_snap_serve.add_argument("--path", required=True, help="snapshot directory")
+    p_snap_serve.add_argument(
+        "--set", action="append",
+        help="query elements, space separated (repeat for a batch)",
+    )
+    p_snap_serve.add_argument(
+        "--sets-file",
+        help="one query set per line; combined with --set into one batch",
+    )
+    p_snap_serve.add_argument("--low", type=float, default=0.5)
+    p_snap_serve.add_argument("--high", type=float, default=1.0)
+    p_snap_serve.add_argument(
+        "--strategy", choices=("index", "scan", "auto"), default="index"
+    )
+    p_snap_serve.add_argument("--workers", type=int, default=1)
+    p_snap_serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread"
+    )
+    p_snap_serve.set_defaults(func=cmd_snapshot)
 
     return parser
 

@@ -493,6 +493,25 @@ class SetSimilarityIndex:
         """Release the active snapshot and allow mutation again."""
         self._frozen = None
 
+    def save_snapshot(self, path) -> None:
+        """Write a zero-copy mmap snapshot directory to ``path``.
+
+        Freezes the index, serializes the frozen image via
+        :func:`repro.exec.snapfile.save_snapshot` (aligned raw arrays
+        plus a checksummed manifest), and restores the previous
+        frozen/thawed state.  ``repro.exec.open_snapshot(path)`` then
+        maps it back in O(ms) for thread- or process-backend serving.
+        """
+        from repro.exec.snapfile import save_snapshot
+
+        was_frozen = self.frozen
+        snapshot = self.freeze()
+        try:
+            save_snapshot(snapshot, path)
+        finally:
+            if not was_frozen:
+                self.thaw()
+
     @property
     def frozen(self) -> bool:
         """Whether a :meth:`freeze` snapshot is currently active."""

@@ -171,6 +171,8 @@ class ExperimentHarness:
         measure_scan: bool = True,
         collect_trace: bool = False,
         workers: int = 1,
+        backend: str = "thread",
+        snapshot_dir=None,
     ) -> list[QueryRecord]:
         """Execute a workload through the batched query path.
 
@@ -187,20 +189,50 @@ class ExperimentHarness:
         every group through :class:`repro.exec.ParallelExecutor` on
         that many threads; answers and simulated costs are identical
         to the sequential path at any worker count.
-        """
-        executor = None
-        if workers > 1:
-            from repro.exec import ParallelExecutor
 
-            executor = ParallelExecutor(self.index.freeze(), workers=workers)
+        ``backend="process"`` saves the frozen snapshot to
+        ``snapshot_dir`` (a temporary directory if ``None``) as a
+        zero-copy :mod:`repro.exec.snapfile` image and serves every
+        group from spawn worker *processes* that each map it --
+        results and accounting remain identical to the sequential
+        path.  Unlike the thread backend this always engages the
+        executor, even at ``workers=1``.
+        """
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        executor = None
+        tmpdir = None
+        frozen = False
         try:
+            if backend == "process":
+                import tempfile
+
+                from repro.exec import ParallelExecutor, save_snapshot
+
+                if snapshot_dir is None:
+                    tmpdir = tempfile.TemporaryDirectory(prefix="repro-snap-")
+                    snapshot_dir = tmpdir.name
+                snapshot = self.index.freeze()
+                frozen = True
+                save_snapshot(snapshot, snapshot_dir)
+                executor = ParallelExecutor(
+                    snapshot_dir, workers=workers, backend="process"
+                )
+            elif workers > 1:
+                from repro.exec import ParallelExecutor
+
+                executor = ParallelExecutor(self.index.freeze(), workers=workers)
+                frozen = True
             return self._run_batch_groups(
                 queries, measure_scan, collect_trace, executor
             )
         finally:
             if executor is not None:
                 executor.close()
+            if frozen:
                 self.index.thaw()
+            if tmpdir is not None:
+                tmpdir.cleanup()
 
     def _run_batch_groups(
         self,

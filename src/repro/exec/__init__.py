@@ -19,21 +19,43 @@ This package provides the serving-side counterpart:
 - :mod:`~repro.exec.build` -- the build-side counterpart: bulk filter
   construction with parallel per-table planning and a deterministic
   sequential apply, bit-identical to the per-insert path at any worker
-  count.
+  count;
+- :mod:`~repro.exec.snapfile` -- zero-copy persistence for snapshots:
+  :func:`~repro.exec.snapfile.save_snapshot` writes a directory of
+  aligned raw arrays + a checksummed JSON manifest,
+  :func:`~repro.exec.snapfile.open_snapshot` maps it back in O(ms)
+  with ``np.memmap`` (a :class:`~repro.exec.snapfile.MappedSnapshot`),
+  the substrate of ``ParallelExecutor(..., backend="process")``.
 """
 
 from repro.exec.build import bulk_load_filters, lpt_makespan
 from repro.exec.columnar import build_csr, hash_set, intersect_counts, jaccard_values
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.snapshot import IndexSnapshot
+from repro.exec.snapfile import (
+    MappedSnapshot,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    open_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
 
 __all__ = [
     "IndexSnapshot",
+    "MappedSnapshot",
     "ParallelExecutor",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotIntegrityError",
     "bulk_load_filters",
     "lpt_makespan",
     "build_csr",
     "hash_set",
     "intersect_counts",
     "jaccard_values",
+    "open_snapshot",
+    "save_snapshot",
+    "verify_snapshot",
 ]

@@ -28,6 +28,19 @@ Consequently ``ParallelExecutor(snapshot, workers=w).query_batch(...)``
 returns answers, candidates, page counts and CPU accounting
 bit-identical to ``index.query_batch(...)`` for every ``w``.
 
+``backend="process"`` swaps the thread pool for a ``spawn``-based
+process pool over a **saved** snapshot
+(:mod:`repro.exec.snapfile`): each worker process maps the snapshot
+directory once (O(ms), pages shared between processes) and runs the
+same per-task stage bodies, shipping back its results, its private
+:class:`~repro.storage.iomodel.IOStats` and its module-counter deltas
+(:mod:`repro.exec.procpool`).  All merge logic runs on the parent
+exactly as in the thread backend, so the bit-identical guarantee --
+answers, page counts, CPU accounting, ``pages_saved``, counter totals
+-- holds across backends at any worker count; only the wall clock
+changes, because worker processes dodge the GIL on the pure-Python
+probe/verify loops.
+
 The executor also mirrors the sequential path's observability: the
 same ``query_batch`` / ``candidates_batch`` / ``*_probe_batch`` /
 ``verify_batch`` span tree (so EXPLAIN and ``filter_summaries`` work
@@ -39,9 +52,11 @@ thread, so span I/O deltas remain exact.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -101,28 +116,60 @@ class _Task:
 
 
 class ParallelExecutor:
-    """Serves ``query_batch`` from a snapshot with a thread pool.
+    """Serves ``query_batch`` from a snapshot with a worker pool.
 
     Parameters
     ----------
     snapshot:
-        A frozen :class:`~repro.exec.snapshot.IndexSnapshot`
-        (``index.freeze()``).
+        For ``backend="thread"``: a frozen
+        :class:`~repro.exec.snapshot.IndexSnapshot` (``index.freeze()``
+        or an opened mapped snapshot).  For ``backend="process"``: a
+        :class:`~repro.exec.snapfile.MappedSnapshot`
+        (:func:`~repro.exec.snapfile.open_snapshot`) or the path of a
+        saved snapshot directory -- worker processes re-open it by
+        path, sharing its mmap'd pages.
     workers:
-        Thread-pool size.  Any value >= 1 produces bit-identical
-        results and accounting; it only changes wall-clock overlap.
+        Pool size.  Any value >= 1 produces bit-identical results and
+        accounting; it only changes wall-clock overlap.
+    backend:
+        ``"thread"`` (default) or ``"process"`` (``spawn`` start
+        method; genuine multi-core execution of the pure-Python probe
+        and verify loops).
 
     Usable as a context manager; :meth:`close` shuts the pool down.
     """
 
-    def __init__(self, snapshot, workers: int = 1):
+    def __init__(self, snapshot, workers: int = 1, backend: str = "thread"):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        if backend == "process":
+            from repro.exec import procpool
+            from repro.exec.snapfile import MappedSnapshot, open_snapshot
+
+            if isinstance(snapshot, (str, os.PathLike)):
+                snapshot = open_snapshot(snapshot)
+            if not isinstance(snapshot, MappedSnapshot):
+                raise ValueError(
+                    "backend='process' needs a saved snapshot: "
+                    "save_snapshot(index.freeze(), dir), then pass "
+                    "open_snapshot(dir) or the directory path"
+                )
+            self._procpool = procpool
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=procpool.worker_init,
+                initargs=(str(snapshot.path),),
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-exec"
+            )
         self.snapshot = snapshot
         self.workers = workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-exec"
-        )
+        self.backend = backend
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -136,9 +183,35 @@ class ParallelExecutor:
 
     # -- task plumbing -----------------------------------------------------
 
-    def _run_tasks(self, tasks: list[_Task], fns: list) -> None:
+    def _run_tasks(self, tasks: list[_Task], fns: list, specs=None) -> None:
         """Execute task bodies on the pool; each charges only its own
-        ``task.io`` and thread-local counter shards."""
+        ``task.io`` and thread-local counter shards.
+
+        With the process backend, ``specs`` carries the picklable
+        ``(stage, *payload)`` form of each task
+        (:func:`repro.exec.procpool.run_task`); results, IOStats and
+        counter deltas come back over the pool and the deltas are
+        folded into this process's registry, so downstream merge code
+        is backend-agnostic.
+        """
+        if self.backend == "process":
+            futures = [
+                self._pool.submit(self._procpool.run_task, spec)
+                for spec in specs
+            ]
+            folded: dict[str, int] = {}
+            for task, future in zip(tasks, futures):
+                out = future.result()
+                task.result = out["result"]
+                task.io = out["io"]
+                task.seconds = out["seconds"]
+                task.thread = out["worker"]
+                task.extra = out["counters"].get("hashtable.probe_pages_saved", 0)
+                for name, delta in out["counters"].items():
+                    folded[name] = folded.get(name, 0) + delta
+            metrics.apply_counter_deltas(folded)
+            _PARALLEL_TASKS.inc(len(tasks))
+            return
 
         def run(task: _Task, fn) -> None:
             t0 = time.perf_counter()
@@ -190,6 +263,7 @@ class ParallelExecutor:
             sigma_high=sigma_high,
             n_queries=n,
             workers=self.workers,
+            backend=self.backend,
         ) as root:
             recording = root is not None
             before = cost.snapshot()
@@ -287,7 +361,13 @@ class ParallelExecutor:
                 ]
             return body
 
-        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        specs = None
+        if self.backend == "process":
+            specs = [
+                ("scan", [query_sets[i] for i in chunk], sigma_low, sigma_high)
+                for chunk in chunks
+            ]
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks], specs)
         with trace.span(
             "scan_batch", n_pages=snap.scan_pages, n_queries=n
         ) as sp:
@@ -379,7 +459,12 @@ class ParallelExecutor:
                 )
             return body
 
-        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        specs = None
+        if self.backend == "process":
+            specs = [
+                ("embed", [query_sets[i] for i in chunk]) for chunk in chunks
+            ]
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks], specs)
         with trace.span(
             "embed_batch", k=snap.embedder.k, n_queries=len(rows)
         ):
@@ -410,6 +495,7 @@ class ParallelExecutor:
             cmatrix = complement(matrix, snap.n_bits)
         tasks: list[_Task] = []
         fns = []
+        specs: list[tuple] | None = [] if self.backend == "process" else None
         units: list[tuple[tuple[str, float], int]] = []
         for key in probes:
             kind, point = key
@@ -419,6 +505,8 @@ class ParallelExecutor:
                 task = _Task("probe", f"{kind}({point:.3f})[t{t}]")
                 tasks.append(task)
                 units.append((key, t))
+                if specs is not None:
+                    specs.append(("probe", kind, point, t, probe_matrix))
 
                 def body(task: _Task, fp=fp, t=t, probe_matrix=probe_matrix):
                     saved_before = _PAGES_SAVED.local_value
@@ -427,7 +515,7 @@ class ParallelExecutor:
                     return got
 
                 fns.append(body)
-        self._run_tasks(tasks, fns)
+        self._run_tasks(tasks, fns, specs)
         # Deterministic merge: per filter, union each query's sids over
         # its tables (order-independent), sum page/CPU shards, and
         # record the same aggregate counters and probe span the live
@@ -511,7 +599,18 @@ class ParallelExecutor:
                 ]
             return body
 
-        self._run_tasks(tasks, [make(chunk) for chunk in chunks])
+        specs = None
+        if self.backend == "process":
+            specs = [
+                (
+                    "verify",
+                    [(query_sets[i], candidates_list[i]) for i in chunk],
+                    sigma_low,
+                    sigma_high,
+                )
+                for chunk in chunks
+            ]
+        self._run_tasks(tasks, [make(chunk) for chunk in chunks], specs)
         answers_list: list[list[tuple[int, float]]] = [[] for _ in range(n)]
         with trace.span(
             "verify_batch", n_queries=n, n_pairs=n_pairs
@@ -542,7 +641,8 @@ class ParallelExecutor:
     def _emit_worker_spans(self, all_tasks: list[_Task]) -> None:
         """Per-worker spans plus the shard-merge summary (EXPLAIN)."""
         with trace.span(
-            "parallel_exec", workers=self.workers, n_tasks=len(all_tasks)
+            "parallel_exec", workers=self.workers, backend=self.backend,
+            n_tasks=len(all_tasks),
         ) as sp:
             if not sp.recording:
                 return
@@ -581,6 +681,7 @@ class ParallelExecutor:
             )
         return {
             "workers": self.workers,
+            "backend": self.backend,
             "strategy": strategy,
             "wall_seconds": time.perf_counter() - wall0,
             "stage_seconds": stage_seconds,
@@ -623,5 +724,5 @@ class ParallelExecutor:
     def __repr__(self) -> str:
         return (
             f"ParallelExecutor(workers={self.workers}, "
-            f"snapshot={self.snapshot!r})"
+            f"backend={self.backend!r}, snapshot={self.snapshot!r})"
         )

@@ -1,0 +1,671 @@
+"""Zero-copy on-disk snapshots of a frozen index.
+
+A pickle of the whole index (:mod:`repro.core.persistence`) costs a
+full deserialization pass on every cold start -- O(index size) before
+the first query can run, with every byte copied onto the Python heap.
+This module instead serializes an
+:class:`~repro.exec.snapshot.IndexSnapshot` as a **directory of aligned
+raw numpy arrays** plus a small JSON manifest, so that
+:func:`open_snapshot` only parses the manifest, unpickles a few small
+parameter objects (embedder, plan, planner, bit samplers) and builds
+``np.memmap`` views over one arrays file.  Opening is O(milliseconds)
+regardless of collection size; array bytes are paged in lazily by the
+OS as queries touch them, and every process that opens the same
+snapshot shares one page cache -- the substrate of the
+``backend="process"`` executor (:mod:`repro.exec.parallel`).
+
+Layout of a snapshot directory::
+
+    manifest.json   format name + version, per-array dtype/shape/
+                    offset/crc32, cost-model constants, filter summary
+    arrays.bin      every array, 64-byte aligned, in manifest order
+    objects.pkl     small Python state: embedder, plan, planner,
+                    per-filter samplers/thresholds (crc-checked)
+    sets.pkl        only when set elements defy a columnar encoding
+
+The arrays cover everything the hot path touches: the packed ``(N,
+words)`` uint64 vector matrix, the CSR sorted-hash set arrays and set
+sizes, the per-row measured fetch costs, per-table bucket directories
+(chain page counts plus fingerprint runs in CSR form, served by
+:class:`MmapTableView` with page charges identical to the live table),
+and the set elements themselves (int64 or utf-8 CSR when the elements
+allow it).  ``frozenset`` objects needed by the exact-verification
+fallback are materialized lazily, one set at a time, memoized
+(``snapshot.sets_materialized`` counts them -- a proxy for element
+pages actually faulted in).
+
+Integrity: structural checks (format, version, file sizes, offsets)
+always run at open and catch truncation; per-array crc32 verification
+is opt-in (``verify=True`` / :func:`verify_snapshot`) to keep opening
+O(ms).  ``objects.pkl`` is always crc-checked before unpickling --- but
+as with the pickle persistence, only open snapshots you trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.filter_index import FrozenFilterProbe
+from repro.exec.snapshot import IndexSnapshot
+from repro.obs import metrics, trace
+from repro.storage.hashtable import hash_key
+from repro.storage.iomodel import IOCostModel
+
+FORMAT_NAME = "repro-ssi-snapshot"
+FORMAT_VERSION = 1
+
+#: Byte alignment of every array in ``arrays.bin`` (cache-line sized,
+#: and a multiple of every dtype's itemsize so views never misalign).
+ALIGNMENT = 64
+
+MANIFEST_FILE = "manifest.json"
+ARRAYS_FILE = "arrays.bin"
+OBJECTS_FILE = "objects.pkl"
+SETS_FILE = "sets.pkl"
+
+_SAVES = metrics.counter("snapshot.saves")
+_OPENS = metrics.counter("snapshot.opens")
+_ARRAYS_MAPPED = metrics.counter("snapshot.arrays_mapped")
+_BYTES_MAPPED = metrics.counter("snapshot.bytes_mapped")
+#: Lazy ``frozenset`` materializations -- each one touches (faults in)
+#: that set's slice of the element arrays, so this is the mmap
+#: page-fault proxy for the exact-verification fallback path.
+_SETS_MATERIALIZED = metrics.counter("snapshot.sets_materialized")
+
+# The same probe instruments the live and frozen tables move, so a
+# mapped table's counter movements are indistinguishable from theirs.
+_PROBES = metrics.counter("hashtable.probes")
+_PROBE_PAGES = metrics.counter("hashtable.probe_pages")
+_PROBE_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
+
+
+class SnapshotError(RuntimeError):
+    """A path is not a usable snapshot (missing/garbled files)."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The snapshot's format name or version is not one this build reads."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """Stored bytes disagree with the manifest (truncation/corruption)."""
+
+
+# -- the array pack layer (exposed for property tests) ---------------------
+
+
+def write_arrays(path, arrays: dict[str, np.ndarray]) -> dict[str, dict]:
+    """Write arrays back-to-back, ``ALIGNMENT``-aligned, to one file.
+
+    Returns the manifest specs: per array name its dtype string, shape,
+    byte offset, byte length and crc32, in file order.
+    """
+    specs: dict[str, dict] = {}
+    offset = 0
+    with open(path, "wb") as f:
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            pad = (-offset) % ALIGNMENT
+            if pad:
+                f.write(b"\x00" * pad)
+                offset += pad
+            data = array.tobytes()
+            f.write(data)
+            specs[name] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(data),
+                "crc32": zlib.crc32(data),
+            }
+            offset += len(data)
+        f.flush()
+        os.fsync(f.fileno())
+    return specs
+
+
+def open_arrays(path, specs: dict[str, dict], verify: bool = False) -> dict[str, np.ndarray]:
+    """Map every spec'd array as a read-only view over one ``np.memmap``.
+
+    Structural validation (offsets/lengths fit the file, lengths match
+    dtype x shape) always runs; ``verify=True`` additionally checks
+    every array's crc32 (reads all bytes -- no longer O(ms)).
+    """
+    size = os.path.getsize(path)
+    buf = np.memmap(path, dtype=np.uint8, mode="r") if size else None
+    arrays: dict[str, np.ndarray] = {}
+    for name, spec in specs.items():
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        nbytes = int(spec["nbytes"])
+        offset = int(spec["offset"])
+        want = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes != want:
+            raise SnapshotFormatError(
+                f"array {name!r}: {nbytes} bytes cannot hold "
+                f"shape {shape} of {dtype} ({want} bytes)"
+            )
+        if offset + nbytes > size:
+            raise SnapshotIntegrityError(
+                f"array {name!r} extends to byte {offset + nbytes} but "
+                f"{path} holds only {size}: truncated arrays file"
+            )
+        if nbytes == 0:
+            arrays[name] = np.empty(shape, dtype=dtype)
+            continue
+        raw = buf[offset: offset + nbytes]
+        if verify and zlib.crc32(raw) != spec["crc32"]:
+            raise SnapshotIntegrityError(
+                f"array {name!r} fails its checksum: snapshot is corrupt"
+            )
+        arrays[name] = raw.view(dtype).reshape(shape)
+    return arrays
+
+
+# -- mapped bucket directories ---------------------------------------------
+
+
+class MmapTableView:
+    """One hash table's bucket directory served from mapped arrays.
+
+    The drop-in counterpart of
+    :class:`~repro.storage.hashtable.FrozenTableView`: per bucket a
+    chain page count, plus the bucket's fingerprint *runs* in CSR form
+    -- ``run_fps[bucket_indptr[b]:bucket_indptr[b+1]]`` are the
+    bucket's fingerprints sorted ascending, and run ``p`` owns sids
+    ``run_sids[run_indptr[p]:run_indptr[p+1]]`` in insertion order.
+    ``probe_many`` groups keys by bucket, binary-searches each
+    fingerprint within its bucket's run slice, and charges page reads
+    and module counters exactly as the live/frozen tables do.
+    """
+
+    __slots__ = (
+        "n_buckets", "chain_pages", "bucket_indptr",
+        "run_fps", "run_indptr", "run_sids",
+    )
+
+    def __init__(self, n_buckets, chain_pages, bucket_indptr,
+                 run_fps, run_indptr, run_sids):
+        self.n_buckets = n_buckets
+        self.chain_pages = chain_pages
+        self.bucket_indptr = bucket_indptr
+        self.run_fps = run_fps
+        self.run_indptr = run_indptr
+        self.run_sids = run_sids
+
+    def probe_many(self, keys: list[bytes], io) -> list[list[int]]:
+        """Grouped batch probe, bit-equivalent to ``FrozenTableView``'s."""
+        results: list[list[int]] = [[] for _ in keys]
+        by_bucket: dict[int, list[tuple[int, int]]] = {}
+        hk, n_buckets = hash_key, self.n_buckets
+        for i, key in enumerate(keys):
+            fingerprint = hk(key)
+            bucket = fingerprint % n_buckets
+            if bucket in by_bucket:
+                by_bucket[bucket].append((i, fingerprint))
+            else:
+                by_bucket[bucket] = [(i, fingerprint)]
+        pages_cell = _PROBE_PAGES.shard()
+        saved_cell = _PROBE_PAGES_SAVED.shard()
+        chain_pages, indptr = self.chain_pages, self.bucket_indptr
+        run_fps, run_indptr, run_sids = self.run_fps, self.run_indptr, self.run_sids
+        for bucket, members in by_bucket.items():
+            pages = int(chain_pages[bucket])
+            if pages:
+                io.random_reads += 1
+                io.sequential_reads += pages - 1
+            pages_cell.count += pages
+            saved_cell.count += pages * (len(members) - 1)
+            a, b = int(indptr[bucket]), int(indptr[bucket + 1])
+            if a == b:
+                continue
+            fps = run_fps[a:b]
+            for i, fingerprint in members:
+                pos = int(np.searchsorted(fps, np.uint64(fingerprint)))
+                if pos < b - a and int(fps[pos]) == fingerprint:
+                    run = a + pos
+                    results[i] = run_sids[
+                        int(run_indptr[run]): int(run_indptr[run + 1])
+                    ].tolist()
+        _PROBES.shard().count += len(keys)
+        return results
+
+
+def _table_arrays(view) -> dict[str, np.ndarray]:
+    """Flatten one ``FrozenTableView``'s directories into the CSR run
+    arrays :class:`MmapTableView` serves from."""
+    n_buckets = view.n_buckets
+    bucket_indptr = np.zeros(n_buckets + 1, dtype=np.int64)
+    run_fps: list[int] = []
+    run_lens: list[int] = []
+    run_sids: list[int] = []
+    for bucket in range(n_buckets):
+        directory = view.directories[bucket] or {}
+        items = sorted(directory.items())
+        bucket_indptr[bucket + 1] = bucket_indptr[bucket] + len(items)
+        for fingerprint, sids in items:
+            run_fps.append(fingerprint)
+            run_lens.append(len(sids))
+            run_sids.extend(sids)
+    run_indptr = np.zeros(len(run_fps) + 1, dtype=np.int64)
+    if run_lens:
+        np.cumsum(run_lens, out=run_indptr[1:])
+    return {
+        "chain_pages": np.asarray(view.chain_pages, dtype=np.int64),
+        "bucket_indptr": bucket_indptr,
+        "run_fps": np.array(run_fps, dtype=np.uint64),
+        "run_indptr": run_indptr,
+        "run_sids": np.array(run_sids, dtype=np.int64),
+    }
+
+
+_TABLE_FIELDS = ("chain_pages", "bucket_indptr", "run_fps", "run_indptr", "run_sids")
+
+
+# -- set-element encodings -------------------------------------------------
+
+
+def _encode_sets(sets_in_order: list[frozenset]):
+    """Columnar encoding of the stored sets, if their elements allow it.
+
+    Returns ``(encoding, arrays, sets_obj)``: ``"int64"``/``"utf8"``
+    with CSR arrays when every element is a builtin int in int64 range
+    / a builtin str, else ``"pickle"`` with the original dict shipped
+    in ``sets.pkl`` (loaded lazily at serve time).
+    """
+    if all(
+        type(e) is int and -(2 ** 63) <= e < 2 ** 63
+        for s in sets_in_order for e in s
+    ):
+        indptr = np.zeros(len(sets_in_order) + 1, dtype=np.int64)
+        if sets_in_order:
+            np.cumsum([len(s) for s in sets_in_order], out=indptr[1:])
+        data = np.empty(int(indptr[-1]), dtype=np.int64)
+        for row, s in enumerate(sets_in_order):
+            data[int(indptr[row]): int(indptr[row + 1])] = sorted(s)
+        return "int64", {"elem_indptr": indptr, "elem_data": data}, None
+    if all(type(e) is str for s in sets_in_order for e in s):
+        indptr = np.zeros(len(sets_in_order) + 1, dtype=np.int64)
+        if sets_in_order:
+            np.cumsum([len(s) for s in sets_in_order], out=indptr[1:])
+        encoded = [e.encode("utf-8") for s in sets_in_order for e in sorted(s)]
+        str_indptr = np.zeros(len(encoded) + 1, dtype=np.int64)
+        if encoded:
+            np.cumsum([len(b) for b in encoded], out=str_indptr[1:])
+        str_data = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+        return "utf8", {
+            "elem_indptr": indptr,
+            "str_indptr": str_indptr,
+            "str_data": str_data,
+        }, None
+    return "pickle", {}, dict(
+        zip(range(len(sets_in_order)), sets_in_order)
+    )
+
+
+class _LazySets:
+    """``sid -> frozenset`` mapping that materializes (and memoizes)
+    each set on first access -- the exact-verification fallback touches
+    only the sets it needs, so cold serving never pages in the whole
+    element file."""
+
+    __slots__ = ("_load", "_memo")
+
+    def __init__(self, load):
+        self._load = load
+        self._memo: dict[int, frozenset] = {}
+
+    def __getitem__(self, sid: int) -> frozenset:
+        got = self._memo.get(sid)
+        if got is None:
+            got = self._memo[sid] = self._load(sid)
+            _SETS_MATERIALIZED.inc()
+        return got
+
+
+# -- the mapped snapshot ---------------------------------------------------
+
+
+class MappedSnapshot(IndexSnapshot):
+    """An :class:`~repro.exec.snapshot.IndexSnapshot` whose bulk state
+    lives in ``np.memmap`` views over one snapshot directory.
+
+    Query semantics, page charges and counter movements are identical
+    to a live ``index.freeze()`` snapshot -- the executor equivalence
+    suites run unchanged over either.  Derived Python objects the hot
+    path needs (`row_of`, `all_sids`, the fallback ``frozenset``
+    objects) are built lazily on first use and cached; concurrent first
+    touches from the thread backend may build one twice, but the
+    results are identical so the race is benign.
+    """
+
+    @property
+    def n_sets(self) -> int:
+        return int(self.sid_array.shape[0])
+
+    @property
+    def sids(self) -> list[int]:
+        got = self.__dict__.get("_sids")
+        if got is None:
+            got = self.__dict__["_sids"] = self.sid_array.tolist()
+        return got
+
+    @property
+    def row_of(self) -> dict[int, int]:
+        got = self.__dict__.get("_row_of")
+        if got is None:
+            got = self.__dict__["_row_of"] = {
+                sid: row for row, sid in enumerate(self.sids)
+            }
+        return got
+
+    @property
+    def all_sids(self) -> frozenset:
+        got = self.__dict__.get("_all_sids")
+        if got is None:
+            got = self.__dict__["_all_sids"] = frozenset(self.sids)
+        return got
+
+    @property
+    def fallback_sids(self) -> frozenset:
+        got = self.__dict__.get("_fallback_sids")
+        if got is None:
+            got = self.__dict__["_fallback_sids"] = frozenset(
+                self.fallback_array.tolist()
+            )
+        return got
+
+    @property
+    def sets(self) -> _LazySets:
+        got = self.__dict__.get("_sets")
+        if got is None:
+            got = self.__dict__["_sets"] = _LazySets(self._set_loader())
+        return got
+
+    def _set_loader(self):
+        encoding = self.sets_encoding
+        if encoding == "int64":
+            indptr, data, row_of = self.elem_indptr, self.elem_data, self.row_of
+
+            def load(sid: int) -> frozenset:
+                row = row_of[sid]
+                return frozenset(
+                    data[int(indptr[row]): int(indptr[row + 1])].tolist()
+                )
+        elif encoding == "utf8":
+            indptr, row_of = self.elem_indptr, self.row_of
+            str_indptr, str_data = self.str_indptr, self.str_data
+
+            def load(sid: int) -> frozenset:
+                row = row_of[sid]
+                return frozenset(
+                    str_data[int(str_indptr[e]): int(str_indptr[e + 1])]
+                    .tobytes().decode("utf-8")
+                    for e in range(int(indptr[row]), int(indptr[row + 1]))
+                )
+        elif encoding == "pickle":
+            path, row_of = self.path, self.row_of
+            memo: dict = {}
+
+            def load(sid: int) -> frozenset:
+                if not memo:
+                    blob = (Path(path) / SETS_FILE).read_bytes()
+                    memo.update(pickle.loads(blob))
+                return memo[row_of[sid]]
+        else:
+            raise SnapshotFormatError(f"unknown sets encoding: {encoding!r}")
+        return load
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedSnapshot(path={str(self.path)!r}, n_sets={self.n_sets}, "
+            f"sfis={len(self.sfis)}, dfis={len(self.dfis)})"
+        )
+
+
+# -- save / open -----------------------------------------------------------
+
+
+def save_snapshot(snapshot: IndexSnapshot, path) -> Path:
+    """Serialize a frozen snapshot as a mapped-array directory.
+
+    ``snapshot`` is an ``index.freeze()`` image (a
+    :class:`MappedSnapshot` cannot be re-saved; save from the live
+    index it came from).  The manifest is written last, atomically, so
+    a crashed save never leaves an openable half-snapshot.
+    """
+    if isinstance(snapshot, MappedSnapshot):
+        raise SnapshotError(
+            "cannot re-save a mapped snapshot; save from a live index.freeze()"
+        )
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    with trace.span("snapshot_save", path=str(path)) as sp:
+        sids = snapshot.sids
+        arrays: dict[str, np.ndarray] = {
+            "sid_array": np.asarray(sids, dtype=np.int64),
+            "vector_matrix": snapshot.vector_matrix,
+            "set_indptr": snapshot.set_indptr,
+            "set_data": snapshot.set_data,
+            "set_sizes": snapshot.set_sizes,
+            "fetch_random": snapshot.fetch_random,
+            "fetch_seq": snapshot.fetch_seq,
+            "fallback_array": np.asarray(
+                sorted(snapshot.fallback_sids), dtype=np.int64
+            ),
+        }
+        filters = (
+            [("sfi", p) for p in sorted(snapshot.sfis)]
+            + [("dfi", p) for p in sorted(snapshot.dfis)]
+        )
+        filter_meta: list[dict] = []
+        filter_objects: list[dict] = []
+        for i, (kind, point) in enumerate(filters):
+            fp = snapshot.filter_probe(kind, point)
+            n_buckets: list[int] = []
+            for t, view in enumerate(fp.tables):
+                for field, array in _table_arrays(view).items():
+                    arrays[f"f{i:03d}_t{t:03d}_{field}"] = array
+                n_buckets.append(view.n_buckets)
+            filter_meta.append({
+                "kind": kind, "point": point, "threshold": fp.threshold,
+                "sigma_point": fp.sigma_point, "r": fp.r, "l": fp.n_tables,
+            })
+            filter_objects.append({
+                "kind": kind, "point": point, "threshold": fp.threshold,
+                "sigma_point": fp.sigma_point, "r": fp.r,
+                "n_bits": fp.n_bits, "complement_query": fp.complement_query,
+                "samplers": fp.samplers, "n_buckets": n_buckets,
+            })
+        encoding, set_arrays, sets_obj = _encode_sets(
+            [snapshot.sets[sid] for sid in sids]
+        )
+        arrays.update(set_arrays)
+        specs = write_arrays(path / ARRAYS_FILE, arrays)
+        objects_blob = pickle.dumps(
+            {
+                "embedder": snapshot.embedder,
+                "plan": snapshot.plan,
+                "planner": snapshot.planner,
+                "filters": filter_objects,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        (path / OBJECTS_FILE).write_bytes(objects_blob)
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "n_sets": len(sids),
+            "n_bits": snapshot.n_bits,
+            "scan_pages": snapshot.scan_pages,
+            "cost": {
+                "seq_cost": snapshot.cost.seq_cost,
+                "random_cost": snapshot.cost.random_cost,
+                "cpu_cost": snapshot.cost.cpu_cost,
+            },
+            "sets_encoding": encoding,
+            "objects_crc32": zlib.crc32(objects_blob),
+            "arrays_bytes": os.path.getsize(path / ARRAYS_FILE),
+            "filters": filter_meta,
+            "arrays": specs,
+        }
+        if sets_obj is not None:
+            sets_blob = pickle.dumps(sets_obj, protocol=pickle.HIGHEST_PROTOCOL)
+            (path / SETS_FILE).write_bytes(sets_blob)
+            manifest["sets_crc32"] = zlib.crc32(sets_blob)
+        # Commit point: the manifest names everything, so a snapshot
+        # either opens completely or (no/partial manifest) not at all.
+        fd, tmp = tempfile.mkstemp(dir=path, prefix=MANIFEST_FILE + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(manifest, f, indent=1)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path / MANIFEST_FILE)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if sp.recording:
+            sp.set(
+                n_arrays=len(specs),
+                arrays_bytes=manifest["arrays_bytes"],
+                n_sets=len(sids),
+                sets_encoding=encoding,
+            )
+    _SAVES.inc()
+    return path
+
+
+def open_snapshot(path, verify: bool = False) -> MappedSnapshot:
+    """Map a snapshot directory written by :func:`save_snapshot`.
+
+    O(ms) regardless of collection size: only the manifest and the
+    small object pickle are read eagerly; every array is an
+    ``np.memmap`` view paged in on use.  ``verify=True`` additionally
+    checksums every array (reads everything).
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise SnapshotError(
+            f"{path} is not a snapshot directory (no {MANIFEST_FILE})"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotFormatError(f"{manifest_path} is not valid JSON: {exc}") from exc
+    if manifest.get("format") != FORMAT_NAME:
+        raise SnapshotFormatError(
+            f"{path} is not a {FORMAT_NAME} snapshot "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"{path} has snapshot format version {manifest.get('version')}; "
+            f"this build reads {FORMAT_VERSION}"
+        )
+    with trace.span("snapshot_open", path=str(path), verify=verify) as sp:
+        arrays_path = path / ARRAYS_FILE
+        if not arrays_path.is_file():
+            raise SnapshotIntegrityError(f"{path} is missing {ARRAYS_FILE}")
+        size = os.path.getsize(arrays_path)
+        if size != manifest["arrays_bytes"]:
+            raise SnapshotIntegrityError(
+                f"{arrays_path} holds {size} bytes, manifest expects "
+                f"{manifest['arrays_bytes']}: truncated or rewritten"
+            )
+        arrays = open_arrays(arrays_path, manifest["arrays"], verify=verify)
+        objects_blob = (path / OBJECTS_FILE).read_bytes()
+        if zlib.crc32(objects_blob) != manifest["objects_crc32"]:
+            raise SnapshotIntegrityError(
+                f"{path / OBJECTS_FILE} fails its checksum: snapshot is corrupt"
+            )
+        objects = pickle.loads(objects_blob)
+        if manifest["sets_encoding"] == "pickle":
+            sets_path = path / SETS_FILE
+            if not sets_path.is_file():
+                raise SnapshotIntegrityError(f"{path} is missing {SETS_FILE}")
+            if verify and zlib.crc32(sets_path.read_bytes()) != manifest["sets_crc32"]:
+                raise SnapshotIntegrityError(
+                    f"{sets_path} fails its checksum: snapshot is corrupt"
+                )
+        cost_spec = manifest["cost"]
+        sfis: dict[float, FrozenFilterProbe] = {}
+        dfis: dict[float, FrozenFilterProbe] = {}
+        for i, fo in enumerate(objects["filters"]):
+            tables = []
+            for t, n_buckets in enumerate(fo["n_buckets"]):
+                prefix = f"f{i:03d}_t{t:03d}_"
+                tables.append(MmapTableView(
+                    n_buckets, *(arrays[prefix + field] for field in _TABLE_FIELDS)
+                ))
+            probe = FrozenFilterProbe(
+                fo["kind"], fo["threshold"], fo["sigma_point"], fo["r"],
+                fo["n_bits"], fo["samplers"], tables, fo["complement_query"],
+            )
+            (sfis if fo["kind"] == "sfi" else dfis)[fo["point"]] = probe
+        state = {
+            "path": path,
+            "manifest": manifest,
+            "sets_encoding": manifest["sets_encoding"],
+            "embedder": objects["embedder"],
+            "plan": objects["plan"],
+            "planner": objects["planner"],
+            "cost": IOCostModel(
+                seq_cost=cost_spec["seq_cost"],
+                random_cost=cost_spec["random_cost"],
+                cpu_cost=cost_spec["cpu_cost"],
+            ),
+            "n_bits": manifest["n_bits"],
+            "scan_pages": manifest["scan_pages"],
+            "sfis": sfis,
+            "dfis": dfis,
+            "sid_array": arrays["sid_array"],
+            "vector_matrix": arrays["vector_matrix"],
+            "set_indptr": arrays["set_indptr"],
+            "set_data": arrays["set_data"],
+            "set_sizes": arrays["set_sizes"],
+            "fetch_random": arrays["fetch_random"],
+            "fetch_seq": arrays["fetch_seq"],
+            "fallback_array": arrays["fallback_array"],
+        }
+        for field in ("elem_indptr", "elem_data", "str_indptr", "str_data"):
+            if field in arrays:
+                state[field] = arrays[field]
+        snap = MappedSnapshot(**state)
+        mapped_bytes = sum(int(s["nbytes"]) for s in manifest["arrays"].values())
+        if sp.recording:
+            sp.set(
+                n_arrays=len(arrays),
+                bytes_mapped=mapped_bytes,
+                n_sets=snap.n_sets,
+                sets_encoding=manifest["sets_encoding"],
+            )
+    _OPENS.inc()
+    _ARRAYS_MAPPED.inc(len(arrays))
+    _BYTES_MAPPED.inc(mapped_bytes)
+    return snap
+
+
+def verify_snapshot(path) -> dict:
+    """Fully checksum a snapshot; returns a summary dict or raises."""
+    snap = open_snapshot(path, verify=True)
+    manifest = snap.manifest
+    return {
+        "path": str(path),
+        "n_sets": snap.n_sets,
+        "n_arrays": len(manifest["arrays"]),
+        "arrays_bytes": manifest["arrays_bytes"],
+        "sets_encoding": manifest["sets_encoding"],
+        "filters": len(manifest["filters"]),
+    }

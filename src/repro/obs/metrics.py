@@ -243,6 +243,29 @@ class MetricsRegistry:
                 },
             }
 
+    def counter_values(self) -> dict[str, int]:
+        """Current aggregated value of every registered counter.
+
+        The primitive behind cross-process counter folding: a
+        single-threaded worker brackets a task with two calls and the
+        difference is exactly that task's movements.
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+        return {name: counter.value for name, counter in counters}
+
+    def apply_counter_deltas(self, deltas: dict[str, int]) -> None:
+        """Fold externally measured counter deltas into this registry.
+
+        Used by the process-backend executor to replay each worker
+        task's counter movements on the parent (counters are created on
+        demand; deltas land in the calling thread's shard), so process
+        totals match what the thread backend would have recorded.
+        """
+        for name, delta in deltas.items():
+            if delta:
+                self.counter(name).shard().count += delta
+
     def reset(self) -> None:
         """Zero every instrument in place (cached references stay valid)."""
         with self._lock:
@@ -273,6 +296,16 @@ def histogram(name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram
 def snapshot() -> dict[str, Any]:
     """Snapshot of the default registry."""
     return registry.snapshot()
+
+
+def counter_values() -> dict[str, int]:
+    """Current counter values of the default registry."""
+    return registry.counter_values()
+
+
+def apply_counter_deltas(deltas: dict[str, int]) -> None:
+    """Fold counter deltas into the default registry."""
+    return registry.apply_counter_deltas(deltas)
 
 
 def reset() -> None:

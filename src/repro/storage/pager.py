@@ -22,10 +22,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+from repro.obs import metrics
 from repro.storage.iomodel import IOCostModel
 
 #: Default page size in bytes (a common DBMS page size).
 DEFAULT_PAGE_SIZE = 4096
+
+# Process-wide buffer-pool instruments (surfaced by `repro stats` and
+# the metrics snapshot); the per-instance attributes below track one
+# pager's own history and are what `cache_hit_ratio` reads.
+_CACHE_HITS = metrics.counter("pager.cache_hits")
+_CACHE_MISSES = metrics.counter("pager.cache_misses")
 
 
 class Page:
@@ -119,8 +126,10 @@ class PageManager:
             if page_id in self._cache:
                 self._cache.move_to_end(page_id)
                 self.cache_hits += 1
+                _CACHE_HITS.inc()
                 return page
             self.cache_misses += 1
+            _CACHE_MISSES.inc()
             self._cache[page_id] = None
             if len(self._cache) > self.cache_pages:
                 self._cache.popitem(last=False)
@@ -149,6 +158,26 @@ class PageManager:
         """Release a page (and drop it from the buffer pool)."""
         del self._pages[page_id]
         self._cache.pop(page_id, None)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of buffer-pool lookups served from the pool.
+
+        0.0 when the pool is disabled or has never been consulted.
+        """
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def reset_cache(self) -> None:
+        """Empty the buffer pool and zero this pager's hit/miss counts.
+
+        The process-wide ``pager.cache_hits``/``pager.cache_misses``
+        metrics are monotonic and unaffected.  Useful between
+        experiment phases: the next reads start from a cold pool.
+        """
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def n_pages(self) -> int:

@@ -85,3 +85,50 @@ class TestBufferPool:
         table.probe(b"hot")
         delta = pager.io.snapshot() - before
         assert delta.random_reads == 0
+
+
+class TestHitRatio:
+    def test_ratio_zero_when_never_consulted(self):
+        assert _pager(4).cache_hit_ratio == 0.0
+        assert _pager(0).cache_hit_ratio == 0.0
+
+    def test_ratio_tracks_hits_and_misses(self):
+        pager = _pager(4)
+        page = pager.allocate(1)
+        pager.read(page.page_id)  # miss
+        pager.read(page.page_id)  # hit
+        pager.read(page.page_id)  # hit
+        assert pager.cache_hit_ratio == pytest.approx(2 / 3)
+
+    def test_registry_counters_move_with_instance(self):
+        from repro.obs import metrics
+
+        hits = metrics.counter("pager.cache_hits")
+        misses = metrics.counter("pager.cache_misses")
+        base_hits, base_misses = hits.value, misses.value
+        pager = _pager(4)
+        page = pager.allocate(1)
+        pager.read(page.page_id)
+        pager.read(page.page_id)
+        assert hits.value == base_hits + 1
+        assert misses.value == base_misses + 1
+
+    def test_reset_cache_cools_pool_and_zeroes_instance_counts(self):
+        from repro.obs import metrics
+
+        hits = metrics.counter("pager.cache_hits")
+        base_hits = hits.value
+        pager = _pager(4)
+        page = pager.allocate(1)
+        pager.read(page.page_id)
+        pager.read(page.page_id)
+        assert pager.cache_hits == 1
+        pager.reset_cache()
+        assert pager.cache_hits == 0
+        assert pager.cache_misses == 0
+        assert pager.cache_hit_ratio == 0.0
+        before = pager.io.snapshot()
+        pager.read(page.page_id)  # cold again: charged
+        assert (pager.io.snapshot() - before).random_reads == 1
+        # The registry counters are monotonic across resets.
+        assert hits.value == base_hits + 1

@@ -186,3 +186,86 @@ class TestObservabilityCommands:
         from repro.obs import configure_logging
 
         assert configure_logging(0).level == logging.WARNING
+
+
+class TestSnapshotCommands:
+    def test_save_info_verify_serve(self, built_index_path, tmp_path, capsys):
+        snap_dir = tmp_path / "snap.d"
+        rc = main(
+            ["snapshot", "save", "--index", str(built_index_path),
+             "--out", str(snap_dir)]
+        )
+        assert rc == 0
+        assert (snap_dir / "manifest.json").exists()
+        assert "snapshot" in capsys.readouterr().out
+
+        rc = main(["snapshot", "info", "--path", str(snap_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro-ssi-snapshot" in out
+        assert "arrays:" in out
+
+        rc = main(["snapshot", "verify", "--path", str(snap_dir)])
+        assert rc == 0
+        assert "all checksums pass" in capsys.readouterr().out
+
+        rc = main(
+            ["snapshot", "serve", "--path", str(snap_dir),
+             "--set", "apple banana cherry", "--low", "0.9", "--high", "1.0"]
+        )
+        assert rc == 0
+        assert "0\t1.0000" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, built_index_path, tmp_path, capsys):
+        snap_dir = tmp_path / "snap.d"
+        assert main(
+            ["snapshot", "save", "--index", str(built_index_path),
+             "--out", str(snap_dir)]
+        ) == 0
+        capsys.readouterr()
+        blob = bytearray((snap_dir / "arrays.bin").read_bytes())
+        blob[-1] ^= 0xFF
+        (snap_dir / "arrays.bin").write_bytes(bytes(blob))
+        rc = main(["snapshot", "verify", "--path", str(snap_dir)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_query_from_snapshot_matches_index(
+        self, built_index_path, tmp_path, capsys
+    ):
+        snap_dir = tmp_path / "snap.d"
+        assert main(
+            ["snapshot", "save", "--index", str(built_index_path),
+             "--out", str(snap_dir)]
+        ) == 0
+        capsys.readouterr()
+        argv = ["--set", "apple banana cherry", "--set", "x y z",
+                "--low", "0.2", "--high", "1.0"]
+        assert main(["query", "--index", str(built_index_path)] + argv) == 0
+        from_index = capsys.readouterr().out
+        assert main(["query", "--snapshot", str(snap_dir)] + argv) == 0
+        from_snapshot = capsys.readouterr().out
+        assert from_snapshot == from_index
+
+    def test_query_rejects_index_and_snapshot_together(
+        self, built_index_path, capsys
+    ):
+        rc = main(
+            ["query", "--index", str(built_index_path),
+             "--snapshot", "somewhere", "--set", "a b"]
+        )
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_query_rejects_neither_source(self, capsys):
+        rc = main(["query", "--set", "a b"])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_process_backend_requires_snapshot(self, built_index_path, capsys):
+        rc = main(
+            ["query", "--index", str(built_index_path),
+             "--set", "a b", "--backend", "process"]
+        )
+        assert rc == 2
+        assert "requires --snapshot" in capsys.readouterr().err

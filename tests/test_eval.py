@@ -80,6 +80,34 @@ class TestHarness:
         assert all(s.n_queries == 0 for s in summaries)
         assert all(math.isnan(s.recall) for s in summaries)
 
+    def test_run_batch_workers_match_sequential(self, harness):
+        queries = QueryWorkload(len(harness.sets), seed=6).sample(6)
+        sequential = harness.run_batch(queries, measure_scan=False)
+        threaded = harness.run_batch(queries, measure_scan=False, workers=3)
+        for s, t in zip(sequential, threaded):
+            assert t.n_answers == s.n_answers
+            assert t.n_candidates == s.n_candidates
+            assert t.recall == s.recall
+            assert t.index_time == s.index_time
+
+    def test_run_batch_process_backend_matches_sequential(self, harness, tmp_path):
+        queries = QueryWorkload(len(harness.sets), seed=7).sample(4)
+        sequential = harness.run_batch(queries, measure_scan=False)
+        processed = harness.run_batch(
+            queries, measure_scan=False, workers=2, backend="process",
+            snapshot_dir=tmp_path / "snap",
+        )
+        for s, p in zip(sequential, processed):
+            assert p.n_answers == s.n_answers
+            assert p.n_candidates == s.n_candidates
+            assert p.recall == s.recall
+            assert p.index_time == s.index_time
+        assert not harness.index.frozen  # restored afterwards
+
+    def test_run_batch_rejects_unknown_backend(self, harness):
+        with pytest.raises(ValueError):
+            harness.run_batch([], backend="fibers")
+
     def test_scan_recall_would_be_one(self, harness, clustered_sets):
         """Sanity: the oracle agrees with the scan baseline."""
         q = RangeQuery(3, 0.3, 0.9)

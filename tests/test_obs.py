@@ -233,6 +233,40 @@ class TestMetrics:
         after = metrics.snapshot()["counters"]["sfi.probes"]
         assert after > before
 
+    def test_counter_values_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.counter("b")  # untouched counters are reported too
+        assert reg.counter_values() == {"a": 3, "b": 0}
+
+    def test_apply_counter_deltas_folds_in(self):
+        """The cross-process fold: worker deltas land in this registry."""
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        before = reg.counter_values()
+        reg.apply_counter_deltas({"a": 5, "new": 7, "zero": 0})
+        values = reg.counter_values()
+        assert values["a"] == before["a"] + 5
+        assert values["new"] == 7
+        assert "zero" not in values  # zero deltas create nothing
+
+    def test_counter_roundtrip_through_values_and_deltas(self):
+        """before/after bracketing reproduces exactly what a task moved."""
+        reg = MetricsRegistry()
+        reg.counter("x").inc(4)
+        before = reg.counter_values()
+        reg.counter("x").inc(6)
+        reg.counter("y").inc(1)
+        after = reg.counter_values()
+        deltas = {
+            name: after[name] - before.get(name, 0)
+            for name in after
+            if after[name] != before.get(name, 0)
+        }
+        sink = MetricsRegistry()
+        sink.apply_counter_deltas(deltas)
+        assert sink.counter_values() == {"x": 6, "y": 1}
+
 
 class TestExplain:
     def test_query_result_carries_trace(self, traced_query):

@@ -67,3 +67,81 @@ class TestSaveLoad:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_index(tmp_path / "nope.ssi")
+
+
+class TestShortFiles:
+    """Truncated headers raise PersistenceError, never a surprise."""
+
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"",
+            b"R",
+            MAGIC,  # magic but no version bytes
+            MAGIC + b"\x02",  # only half the version field
+        ],
+        ids=["empty", "one-byte", "magic-only", "half-version"],
+    )
+    def test_short_header(self, tmp_path, blob):
+        path = tmp_path / "short.ssi"
+        path.write_bytes(blob)
+        with pytest.raises(PersistenceError, match="shorter|bad magic"):
+            load_index(path)
+
+    def test_truncated_payload(self, small_index, tmp_path):
+        path = tmp_path / "index.ssi"
+        save_index(small_index, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(MAGIC) + 2 + 10])
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "headeronly.ssi"
+        path.write_bytes(MAGIC + FORMAT_VERSION.to_bytes(2, "little"))
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_index(path)
+
+
+class TestCrashSafety:
+    """A failed save must leave a pre-existing file byte-identical."""
+
+    def test_fsync_failure_preserves_existing_file(
+        self, small_index, tmp_path, monkeypatch
+    ):
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "index.ssi"
+        save_index(small_index, path)
+        good = path.read_bytes()
+
+        def exploding_fsync(fd):
+            raise OSError("simulated device failure mid-write")
+
+        monkeypatch.setattr(persistence, "_fsync", exploding_fsync)
+        with pytest.raises(OSError, match="simulated"):
+            save_index(small_index, path)
+        assert path.read_bytes() == good  # untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # staging file removed
+        loaded = SetSimilarityIndex.load(path)
+        assert loaded.n_sets == small_index.n_sets
+
+    def test_unpicklable_index_fails_before_touching_target(self, tmp_path):
+        path = tmp_path / "index.ssi"
+        path.write_bytes(b"precious")
+        with pytest.raises(Exception):
+            save_index({"bad": lambda: None}, path)  # lambdas don't pickle
+        assert path.read_bytes() == b"precious"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_first_save_leaves_nothing(self, small_index, tmp_path, monkeypatch):
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "fresh.ssi"
+        monkeypatch.setattr(
+            persistence, "_fsync", lambda fd: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            save_index(small_index, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []

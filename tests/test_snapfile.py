@@ -1,0 +1,473 @@
+"""Zero-copy snapshot files: round-trip fidelity and loud failure.
+
+``save_snapshot`` writes a frozen index image as aligned raw arrays +
+a checksummed manifest; ``open_snapshot`` maps it back as a
+:class:`~repro.exec.snapfile.MappedSnapshot` that must behave exactly
+like the in-memory ``index.freeze()`` snapshot -- same answers, same
+simulated page charges, same counter movements.  These tests pin the
+round trip (including the int64 / utf-8 / pickle set-element
+encodings and lazy set materialization), property-test the raw array
+pack layer across dtypes and shapes, and check that every corruption
+mode -- wrong format, wrong version, truncation, flipped bytes,
+garbled object pickles -- fails loudly with the right exception.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SetSimilarityIndex
+from repro.data.generators import planted_clusters, uniform_random_sets
+from repro.exec import (
+    MappedSnapshot,
+    ParallelExecutor,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    open_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
+from repro.exec.snapfile import (
+    ARRAYS_FILE,
+    MANIFEST_FILE,
+    OBJECTS_FILE,
+    open_arrays,
+    write_arrays,
+)
+from repro.obs import metrics
+
+RANGES = [(0.5, 1.0), (0.0, 0.4), (0.2, 0.8), (0.0, 1.0), (0.7, 0.9)]
+
+
+def _build_index(seed: int = 1, elements: str = "int"):
+    if seed % 2:
+        sets = planted_clusters(
+            n_clusters=5, per_cluster=7, base_size=20, universe=1200,
+            mutation_rate=0.2, seed=seed,
+        )
+    else:
+        sets = uniform_random_sets(n_sets=40, set_size=14, universe=700, seed=seed)
+    if elements == "str":
+        sets = [frozenset(f"w{e}" for e in s) for s in sets]
+    elif elements == "mixed":
+        sets = [frozenset((e, f"w{e}")) | s for s, e in zip(sets, range(len(sets)))]
+    index = SetSimilarityIndex.build(
+        sets, budget=36, recall_target=0.8, k=24, b=4, seed=seed,
+        sample_pairs=2_000,
+    )
+    rng = np.random.default_rng(seed)
+    queries = [sets[int(rng.integers(len(sets)))] for _ in range(6)]
+    queries.append(frozenset())
+    return index, sets, queries
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    """One built index saved as a snapshot, shared across this module."""
+    index, sets, queries = _build_index(seed=1)
+    path = tmp_path_factory.mktemp("snap") / "snapdir"
+    snapshot = index.freeze()
+    try:
+        save_snapshot(snapshot, path)
+    finally:
+        index.thaw()
+    return index, sets, queries, path
+
+
+# -- round trip ------------------------------------------------------------
+
+
+def test_roundtrip_state_matches_frozen(saved):
+    index, _, _, path = saved
+    mapped = open_snapshot(path)
+    frozen = index.freeze()
+    try:
+        assert isinstance(mapped, MappedSnapshot)
+        assert mapped.n_sets == frozen.n_sets
+        assert mapped.sids == frozen.sids
+        assert mapped.row_of == frozen.row_of
+        assert mapped.all_sids == frozen.all_sids
+        assert mapped.fallback_sids == frozen.fallback_sids
+        np.testing.assert_array_equal(mapped.vector_matrix, frozen.vector_matrix)
+        np.testing.assert_array_equal(mapped.set_indptr, frozen.set_indptr)
+        np.testing.assert_array_equal(mapped.set_data, frozen.set_data)
+        np.testing.assert_array_equal(mapped.set_sizes, frozen.set_sizes)
+        np.testing.assert_array_equal(mapped.fetch_random, frozen.fetch_random)
+        np.testing.assert_array_equal(mapped.fetch_seq, frozen.fetch_seq)
+        assert mapped.n_bits == frozen.n_bits
+        assert mapped.scan_pages == frozen.scan_pages
+        assert mapped.cost.seq_cost == frozen.cost.seq_cost
+        assert mapped.cost.random_cost == frozen.cost.random_cost
+        assert mapped.cost.cpu_cost == frozen.cost.cpu_cost
+        assert set(mapped.sfis) == set(frozen.sfis)
+        assert set(mapped.dfis) == set(frozen.dfis)
+        for sid in frozen.sids:
+            assert mapped.sets[sid] == frozen.sets[sid]
+    finally:
+        index.thaw()
+
+
+def test_mapped_arrays_are_readonly_memmaps(saved):
+    _, _, _, path = saved
+    mapped = open_snapshot(path)
+    assert not mapped.vector_matrix.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        mapped.vector_matrix[0, 0] = 1
+
+
+def _assert_batches_identical(got, want):
+    assert got.n_queries == want.n_queries
+    for g, w in zip(got.results, want.results):
+        assert g.answers == w.answers
+        assert g.candidates == w.candidates
+    assert got.io == want.io
+    assert got.io_time == want.io_time
+    assert got.cpu_time == want.cpu_time
+    assert got.pages_saved == want.pages_saved
+    assert got.fetches_saved == want.fetches_saved
+
+
+@pytest.mark.parametrize("lo,hi", RANGES)
+def test_mapped_snapshot_serves_identically(saved, lo, hi):
+    """Thread executor over the mapped snapshot == sequential index."""
+    index, _, queries, path = saved
+    sequential = index.query_batch(queries, lo, hi)
+    mapped = open_snapshot(path)
+    with ParallelExecutor(mapped, workers=2) as ex:
+        served = ex.query_batch(queries, lo, hi)
+    _assert_batches_identical(served, sequential)
+
+
+def test_mapped_snapshot_scan_strategy(saved):
+    index, _, queries, path = saved
+    sequential = index.query_batch(queries, 0.3, 0.9, strategy="scan")
+    mapped = open_snapshot(path)
+    with ParallelExecutor(mapped, workers=3) as ex:
+        served = ex.query_batch(queries, 0.3, 0.9, strategy="scan")
+    _assert_batches_identical(served, sequential)
+
+
+def test_sets_materialize_lazily(saved):
+    _, sets, _, path = saved
+    mapped = open_snapshot(path)
+    counter = metrics.counter("snapshot.sets_materialized")
+    base = counter.value
+    assert mapped.__dict__.get("_sets") is None  # nothing touched yet
+    sid = mapped.sids[3]
+    first = mapped.sets[sid]
+    assert counter.value == base + 1
+    again = mapped.sets[sid]  # memoized: no second materialization
+    assert again is first
+    assert counter.value == base + 1
+
+
+def test_cold_open_is_fast_and_counted(saved):
+    import time
+
+    _, _, _, path = saved
+    opens = metrics.counter("snapshot.opens")
+    mapped_bytes = metrics.counter("snapshot.bytes_mapped")
+    base_opens, base_bytes = opens.value, mapped_bytes.value
+    t0 = time.perf_counter()
+    mapped = open_snapshot(path)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 1.0  # generous bound; typically ~3 ms
+    assert opens.value == base_opens + 1
+    assert mapped_bytes.value > base_bytes
+    assert mapped.n_sets > 0
+
+
+# -- element encodings -----------------------------------------------------
+
+
+def test_string_elements_use_utf8_encoding(tmp_path):
+    index, sets, queries = _build_index(seed=2, elements="str")
+    path = tmp_path / "snap"
+    index.save_snapshot(path)
+    manifest = json.loads((path / MANIFEST_FILE).read_text())
+    assert manifest["sets_encoding"] == "utf8"
+    assert not (path / "sets.pkl").exists()
+    mapped = open_snapshot(path)
+    for sid in mapped.sids:
+        assert mapped.sets[sid] == index.store.get(sid)
+    sequential = index.query_batch(queries, 0.2, 0.9)
+    with ParallelExecutor(mapped, workers=2) as ex:
+        _assert_batches_identical(ex.query_batch(queries, 0.2, 0.9), sequential)
+
+
+def test_mixed_elements_fall_back_to_pickle(tmp_path):
+    index, sets, queries = _build_index(seed=3, elements="mixed")
+    path = tmp_path / "snap"
+    index.save_snapshot(path)
+    manifest = json.loads((path / MANIFEST_FILE).read_text())
+    assert manifest["sets_encoding"] == "pickle"
+    assert (path / "sets.pkl").exists()
+    mapped = open_snapshot(path)
+    for sid in mapped.sids:
+        assert mapped.sets[sid] == index.store.get(sid)
+    sequential = index.query_batch(queries, 0.2, 0.9)
+    with ParallelExecutor(mapped, workers=2) as ex:
+        _assert_batches_identical(ex.query_batch(queries, 0.2, 0.9), sequential)
+
+
+def test_huge_int_elements_fall_back_to_pickle(tmp_path):
+    sets = [frozenset({2 ** 70 + i, i}) for i in range(30)]
+    index = SetSimilarityIndex.build(
+        sets, budget=12, recall_target=0.7, k=16, b=4, seed=0, sample_pairs=500
+    )
+    path = tmp_path / "snap"
+    index.save_snapshot(path)
+    manifest = json.loads((path / MANIFEST_FILE).read_text())
+    assert manifest["sets_encoding"] == "pickle"
+    mapped = open_snapshot(path)
+    assert mapped.sets[mapped.sids[0]] == index.store.get(mapped.sids[0])
+
+
+def test_tiny_collection_with_mostly_empty_tables(tmp_path):
+    """Three sets leave most buckets (and some runs) empty -- the CSR
+    flattening and the mapped probe must survive the degenerate end."""
+    sets = [frozenset({1, 2, 3}), frozenset({2, 3, 4}), frozenset({10, 11})]
+    index = SetSimilarityIndex.build(
+        sets, budget=12, recall_target=0.7, k=16, b=4, seed=0, sample_pairs=100
+    )
+    path = tmp_path / "snap"
+    index.save_snapshot(path)
+    mapped = open_snapshot(path)
+    assert mapped.n_sets == 3
+    queries = [frozenset({1, 2, 3}), frozenset({99}), frozenset()]
+    for lo, hi in [(0.5, 1.0), (0.0, 1.0), (0.0, 0.4)]:
+        sequential = index.query_batch(queries, lo, hi)
+        with ParallelExecutor(mapped, workers=2) as ex:
+            _assert_batches_identical(ex.query_batch(queries, lo, hi), sequential)
+
+
+def test_save_snapshot_refuses_mapped(saved):
+    _, _, _, path = saved
+    mapped = open_snapshot(path)
+    with pytest.raises(SnapshotError):
+        save_snapshot(mapped, path.parent / "again")
+
+
+def test_index_save_snapshot_leaves_live_index_mutable(tmp_path):
+    index, _, _ = _build_index(seed=4)
+    index.save_snapshot(tmp_path / "snap")
+    sid = index.insert(frozenset({1, 2, 3}))  # not frozen afterwards
+    assert sid in index.sids
+
+
+# -- the array pack layer (property tests) ---------------------------------
+
+DTYPES = ("<i8", "<u8", "|u1", "<f8")
+
+array_strategy = st.sampled_from(DTYPES).flatmap(
+    lambda dt: st.one_of(
+        st.lists(st.integers(0, 200), min_size=0, max_size=40).map(
+            lambda xs: np.asarray(xs, dtype=np.dtype(dt))
+        ),
+        st.tuples(st.integers(0, 6), st.integers(0, 6)).flatmap(
+            lambda shape: st.just(
+                np.arange(shape[0] * shape[1], dtype=np.dtype(dt)).reshape(shape)
+            )
+        ),
+    )
+)
+
+
+@given(st.lists(array_strategy, min_size=0, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_write_open_arrays_roundtrip(tmp_path_factory, arrays):
+    path = tmp_path_factory.mktemp("packs") / "arrays.bin"
+    named = {f"a{i:02d}": a for i, a in enumerate(arrays)}
+    specs = write_arrays(path, named)
+    assert list(specs) == list(named)
+    for spec in specs.values():
+        assert spec["offset"] % 64 == 0
+    got = open_arrays(path, specs, verify=True)
+    for name, array in named.items():
+        assert got[name].dtype == array.dtype
+        assert got[name].shape == array.shape
+        np.testing.assert_array_equal(got[name], array)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_open_arrays_detects_flipped_byte(tmp_path_factory, data):
+    arrays = {
+        "x": np.arange(37, dtype=np.int64),
+        "y": np.arange(64, dtype=np.uint8).reshape(8, 8),
+    }
+    path = tmp_path_factory.mktemp("packs") / "arrays.bin"
+    specs = write_arrays(path, arrays)
+    raw = bytearray(path.read_bytes())
+    # Flip a byte inside a spec'd region (padding bytes are unchecked).
+    spec = specs[data.draw(st.sampled_from(sorted(specs)))]
+    pos = spec["offset"] + data.draw(st.integers(0, spec["nbytes"] - 1))
+    raw[pos] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotIntegrityError):
+        open_arrays(path, specs, verify=True)
+    # ...but the structural (non-verify) open still maps it: checksums
+    # are opt-in so cold opens stay O(ms).
+    open_arrays(path, specs, verify=False)
+
+
+def test_open_arrays_rejects_shape_dtype_mismatch(tmp_path):
+    path = tmp_path / "arrays.bin"
+    specs = write_arrays(path, {"x": np.arange(10, dtype=np.int64)})
+    bad = {"x": dict(specs["x"], shape=[11])}
+    with pytest.raises(SnapshotFormatError):
+        open_arrays(path, bad)
+
+
+def test_open_arrays_rejects_truncated_file(tmp_path):
+    path = tmp_path / "arrays.bin"
+    specs = write_arrays(path, {"x": np.arange(100, dtype=np.int64)})
+    path.write_bytes(path.read_bytes()[:50])
+    with pytest.raises(SnapshotIntegrityError):
+        open_arrays(path, specs)
+
+
+# -- loud failures on snapshot directories ---------------------------------
+
+
+def _copy_snapshot(src: Path, dst: Path) -> Path:
+    dst.mkdir()
+    for child in src.iterdir():
+        (dst / child.name).write_bytes(child.read_bytes())
+    return dst
+
+
+def test_open_missing_directory(tmp_path):
+    with pytest.raises(SnapshotError):
+        open_snapshot(tmp_path / "nope")
+
+
+def test_open_directory_without_manifest(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(SnapshotError):
+        open_snapshot(tmp_path / "empty")
+
+
+def test_open_rejects_garbage_manifest(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    (bad / MANIFEST_FILE).write_text("{not json")
+    with pytest.raises(SnapshotFormatError):
+        open_snapshot(bad)
+
+
+def test_open_rejects_wrong_format_name(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    manifest = json.loads((bad / MANIFEST_FILE).read_text())
+    manifest["format"] = "somebody-elses-format"
+    (bad / MANIFEST_FILE).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError):
+        open_snapshot(bad)
+
+
+def test_open_rejects_future_version(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    manifest = json.loads((bad / MANIFEST_FILE).read_text())
+    manifest["version"] = 99
+    (bad / MANIFEST_FILE).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError) as exc:
+        open_snapshot(bad)
+    assert "99" in str(exc.value)
+
+
+def test_open_rejects_truncated_arrays(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    blob = (bad / ARRAYS_FILE).read_bytes()
+    (bad / ARRAYS_FILE).write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(SnapshotIntegrityError):
+        open_snapshot(bad)
+
+
+def test_open_rejects_missing_arrays_file(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    (bad / ARRAYS_FILE).unlink()
+    with pytest.raises(SnapshotIntegrityError):
+        open_snapshot(bad)
+
+
+def test_open_rejects_corrupt_objects_pickle(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    blob = bytearray((bad / OBJECTS_FILE).read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    (bad / OBJECTS_FILE).write_bytes(bytes(blob))
+    with pytest.raises(SnapshotIntegrityError):
+        open_snapshot(bad)
+
+
+def test_verify_catches_silent_array_corruption(saved, tmp_path):
+    """A flipped array byte passes the O(ms) open but fails verify."""
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    manifest = json.loads((bad / MANIFEST_FILE).read_text())
+    spec = manifest["arrays"]["vector_matrix"]
+    blob = bytearray((bad / ARRAYS_FILE).read_bytes())
+    blob[spec["offset"] + 1] ^= 0xFF
+    (bad / ARRAYS_FILE).write_bytes(bytes(blob))
+    open_snapshot(bad)  # structural open cannot see it
+    with pytest.raises(SnapshotIntegrityError):
+        open_snapshot(bad, verify=True)
+    with pytest.raises(SnapshotIntegrityError):
+        verify_snapshot(bad)
+
+
+def test_verify_snapshot_summary(saved):
+    _, _, _, path = saved
+    summary = verify_snapshot(path)
+    assert summary["n_sets"] > 0
+    assert summary["n_arrays"] == len(
+        json.loads((path / MANIFEST_FILE).read_text())["arrays"]
+    )
+    assert summary["filters"] >= 1
+
+
+def test_crashed_save_leaves_no_openable_snapshot(tmp_path, monkeypatch):
+    """Dying before the manifest commit point leaves nothing to open."""
+    import repro.exec.snapfile as snapfile
+
+    index, _, _ = _build_index(seed=5)
+    real_dumps = pickle.dumps
+
+    def exploding_dumps(obj, *a, **kw):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(snapfile.pickle, "dumps", exploding_dumps)
+    with pytest.raises(RuntimeError):
+        index.save_snapshot(tmp_path / "snap")
+    monkeypatch.setattr(snapfile.pickle, "dumps", real_dumps)
+    assert not (tmp_path / "snap" / MANIFEST_FILE).exists()
+    with pytest.raises(SnapshotError):
+        open_snapshot(tmp_path / "snap")
+    # A rerun into the same directory succeeds and opens cleanly.
+    index.save_snapshot(tmp_path / "snap")
+    assert open_snapshot(tmp_path / "snap").n_sets == len(index.sids)
+
+
+def test_objects_crc_mismatch_names_objects_file(saved, tmp_path):
+    _, _, _, src = saved
+    bad = _copy_snapshot(src, tmp_path / "bad")
+    manifest = json.loads((bad / MANIFEST_FILE).read_text())
+    manifest["objects_crc32"] = (manifest["objects_crc32"] + 1) % 2 ** 32
+    (bad / MANIFEST_FILE).write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotIntegrityError) as exc:
+        open_snapshot(bad)
+    assert OBJECTS_FILE in str(exc.value)
+    assert zlib.crc32(b"") == 0  # keep the zlib import honest
