@@ -1,0 +1,244 @@
+"""Telemetry overhead and export-format smoke (BENCH-OBS).
+
+The production question for an always-on telemetry layer: what does it
+cost?  This bench runs the same query workload twice -- once with the
+event/histogram layer enabled (the default) and once with it switched
+off via ``events.set_enabled(False)`` -- in interleaved repeats, and
+reports the wall-clock overhead of the enabled path.  The acceptance
+gate (full mode only; smoke checks the machinery, not the numbers) is
+**< 3% overhead**: one ring-buffer append, a handful of sparse-dict
+histogram increments and a sampling draw per query must stay in the
+noise next to embedding, probing and exact verification.
+
+The bench also exercises every exporter end to end, writing the three
+artifacts the CI ``obs-smoke`` job validates with
+``benchmarks/check_obs_formats.py``:
+
+* ``obs_metrics.prom`` -- Prometheus text exposition of the registry,
+* ``obs_events.jsonl`` -- the query-event log (``repro top`` input),
+* ``obs_trace.json``  -- a Chrome trace of one traced query.
+
+Run standalone (used by CI in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--smoke] [--out PATH]
+        [--artifacts DIR]
+
+or through pytest-benchmark alongside the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_obs.json"
+
+RANGES = [(0.5, 1.0), (0.2, 0.8)]
+
+
+def build_workload(n_sets: int, budget: int, k: int, seed: int):
+    from repro.core.index import SetSimilarityIndex
+    from repro.data.generators import planted_clusters
+
+    per_cluster = 20
+    sets = planted_clusters(
+        n_clusters=max(1, n_sets // per_cluster),
+        per_cluster=per_cluster,
+        base_size=40,
+        universe=20_000,
+        mutation_rate=0.15,
+        seed=seed,
+    )
+    index = SetSimilarityIndex.build(
+        sets, budget=budget, recall_target=0.85, k=k, b=6, seed=seed,
+        sample_pairs=20_000,
+    )
+    return sets, index
+
+
+def _workload_pass(index, queries, batch_size: int) -> None:
+    """One full pass: a single-query loop and a batched run per range."""
+    for lo, hi in RANGES:
+        for q in queries:
+            index.query(q, lo, hi)
+        for start in range(0, len(queries), batch_size):
+            index.query_batch(queries[start:start + batch_size], lo, hi)
+
+
+def run_bench(
+    n_sets: int = 2000,
+    n_queries: int = 96,
+    batch_size: int = 32,
+    budget: int = 160,
+    k: int = 64,
+    seed: int = 11,
+    repeats: int = 5,
+) -> dict:
+    """Measure telemetry-on vs telemetry-off wall clock; return payload."""
+    from repro.obs import events
+
+    sets, index = build_workload(n_sets, budget, k, seed)
+    queries = [sets[i % len(sets)] for i in range(n_queries)]
+
+    # Warm both paths (JIT-free, but caches, allocators and the lazy
+    # per-thread metric shards all settle on the first pass).
+    _workload_pass(index, queries, batch_size)
+
+    on_secs: list[float] = []
+    off_secs: list[float] = []
+    try:
+        # Interleave ON/OFF repeats so drift (thermal, page cache)
+        # hits both modes equally; score each mode by its best repeat.
+        for _ in range(repeats):
+            events.set_enabled(True)
+            t0 = time.perf_counter()
+            _workload_pass(index, queries, batch_size)
+            on_secs.append(time.perf_counter() - t0)
+            events.set_enabled(False)
+            t0 = time.perf_counter()
+            _workload_pass(index, queries, batch_size)
+            off_secs.append(time.perf_counter() - t0)
+    finally:
+        events.set_enabled(True)
+
+    on_s, off_s = min(on_secs), min(off_secs)
+    overhead_pct = (on_s - off_s) / off_s * 100.0
+    queries_per_pass = len(RANGES) * (n_queries + -(-n_queries // batch_size))
+    return {
+        "experiment": "BENCH-OBS",
+        "workload": {
+            "generator": "planted_clusters",
+            "n_sets": n_sets,
+            "n_queries": n_queries,
+            "batch_size": batch_size,
+            "budget": budget,
+            "k": k,
+            "seed": seed,
+            "ranges": RANGES,
+            "repeats": repeats,
+        },
+        "telemetry_on_seconds": round(on_s, 4),
+        "telemetry_off_seconds": round(off_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "on_qps": round(queries_per_pass / on_s, 1),
+        "off_qps": round(queries_per_pass / off_s, 1),
+        "event_stats": events.log.stats(),
+        "metric_note": (
+            "overhead_pct = (best-of-N wall with events+histograms "
+            "recording) vs (events.set_enabled(False)); the <3% gate "
+            "applies in full mode only"
+        ),
+    }
+
+
+def write_artifacts(artifacts_dir: Path, index=None, queries=None) -> dict:
+    """Export all three telemetry formats; returns {kind: path}.
+
+    Uses whatever the registry/event log accumulated (the bench run),
+    plus one explicitly traced query for the Chrome trace artifact.
+    """
+    from repro.obs import events, export
+
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "prometheus": artifacts_dir / "obs_metrics.prom",
+        "events": artifacts_dir / "obs_events.jsonl",
+        "trace": artifacts_dir / "obs_trace.json",
+    }
+    paths["prometheus"].write_text(export.prometheus_text())
+    events.log.export_jsonl(paths["events"], which="all")
+    if index is not None and queries:
+        result = index.query(queries[0], *RANGES[0], explain=True)
+        export.write_chrome_trace(result.trace, paths["trace"])
+    return {kind: str(path) for kind, path in paths.items()}
+
+
+def format_table(payload: dict) -> str:
+    stats = payload["event_stats"]
+    return "\n".join([
+        f"{'mode':<16}{'seconds':>10}{'qps':>10}",
+        "-" * 36,
+        f"{'telemetry on':<16}{payload['telemetry_on_seconds']:>10}"
+        f"{payload['on_qps']:>10}",
+        f"{'telemetry off':<16}{payload['telemetry_off_seconds']:>10}"
+        f"{payload['off_qps']:>10}",
+        f"overhead: {payload['overhead_pct']}%",
+        f"events: seen={stats['seen']} kept={stats['kept']} "
+        f"slow={stats['slow']}",
+    ])
+
+
+def check(payload: dict, smoke: bool = False) -> list[str]:
+    """The bench's own acceptance gates; returns failure messages."""
+    failures = []
+    if payload["event_stats"]["seen"] == 0:
+        failures.append("telemetry-on pass recorded no query events")
+    # Wall-clock gates only bind at full scale: a smoke workload is
+    # small enough that scheduler noise swamps a few percent.
+    if not smoke and payload["overhead_pct"] >= 3.0:
+        failures.append(
+            f"telemetry overhead {payload['overhead_pct']}% >= 3%"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI: checks the machinery, not the numbers",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--artifacts", type=Path, default=None,
+        help="directory for the Prometheus/JSONL/Chrome-trace exports "
+             "(validated by check_obs_formats.py); omit to skip",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        kwargs = dict(
+            n_sets=400, n_queries=32, batch_size=16, budget=80, k=32,
+            repeats=2,
+        )
+    else:
+        kwargs = {}
+    payload = run_bench(**kwargs)
+    if args.artifacts is not None:
+        sets, index = build_workload(
+            kwargs.get("n_sets", 400), kwargs.get("budget", 80),
+            kwargs.get("k", 32), seed=11,
+        )
+        payload["artifacts"] = write_artifacts(
+            args.artifacts, index=index, queries=[sets[0]]
+        )
+    if args.smoke:
+        payload["smoke"] = True
+    print(format_table(payload))
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    failures = check(payload, smoke=args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def test_obs_overhead(benchmark, scale, emit, emit_json):
+    """pytest-benchmark entry: one telemetry-on workload pass."""
+    n = min(scale.n_sets, 1000)
+    sets, index = build_workload(n, budget=120, k=scale.k, seed=11)
+    queries = [sets[i % len(sets)] for i in range(32)]
+    benchmark(_workload_pass, index, queries, 16)
+    payload = run_bench(
+        n_sets=n, n_queries=48, batch_size=16, k=scale.k, repeats=2,
+    )
+    emit("BENCH_obs", format_table(payload))
+    emit_json("BENCH_obs", payload)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

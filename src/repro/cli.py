@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli snapshot info   --path snap.d
     python -m repro.cli snapshot verify --path snap.d
     python -m repro.cli snapshot serve  --path snap.d --set "a b c" --low 0.4 [--workers N --backend process]
+    python -m repro.cli top     --events events.jsonl [--follow] [--window 60]
 
 The input format for ``build`` is one set per line, elements separated
 by whitespace (elements are treated as opaque strings); ``build
@@ -35,6 +36,16 @@ raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
 each map the same snapshot (spawn start method, genuine multi-core);
 answers and accounting stay bit-identical to the sequential path at
 any worker count and backend.
+
+Telemetry: ``query`` accepts ``--prom-out`` (Prometheus text
+exposition of the full metrics registry), ``--events-out`` (the
+query-event ring as JSON Lines) and ``--trace-out`` (the traced span
+tree in Chrome trace-event format, loadable in ``chrome://tracing`` /
+Perfetto; implies tracing).  ``top`` renders a saved or growing event
+log as a live dashboard: QPS, p50/p90/p99/p999 latency, phase
+breakdown, candidate funnel, buffer-pool hit rate and the slow-query
+log.  ``stats`` appends quantile tables for every registered
+histogram.
 """
 
 from __future__ import annotations
@@ -143,6 +154,31 @@ def _snapshot_batch(path, query_sets, args, explain: bool):
         )
 
 
+def _write_telemetry(args: argparse.Namespace, trace_root) -> None:
+    """Honor ``--prom-out`` / ``--events-out`` / ``--trace-out``."""
+    if getattr(args, "prom_out", None):
+        from repro.obs import export
+
+        Path(args.prom_out).write_text(export.prometheus_text())
+        print(f"# wrote Prometheus exposition to {args.prom_out}",
+              file=sys.stderr)
+    if getattr(args, "events_out", None):
+        from repro.obs import events
+
+        n = events.log.export_jsonl(args.events_out, which="all")
+        print(f"# wrote {n} query events to {args.events_out}",
+              file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        from repro.obs import export
+
+        if trace_root is None:
+            print("# --trace-out: no trace captured", file=sys.stderr)
+        else:
+            export.write_chrome_trace(trace_root, args.trace_out)
+            print(f"# wrote Chrome trace to {args.trace_out}",
+                  file=sys.stderr)
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     """``query``: run similarity range queries against a saved index.
 
@@ -165,7 +201,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         print("error: give exactly one of --index or --snapshot",
               file=sys.stderr)
         return 2
-    explain = args.explain or args.explain_json
+    explain = args.explain or args.explain_json or bool(args.trace_out)
     if args.snapshot:
         batch = _snapshot_batch(args.snapshot, query_sets, args, explain)
         _print_batch(batch)
@@ -174,6 +210,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             print(render_trace(trace_root))
         if args.explain_json:
             print(json.dumps(explain_json(trace_root), indent=2))
+        _write_telemetry(args, trace_root)
         return 0
     if args.backend == "process":
         print("error: --backend process requires --snapshot "
@@ -218,6 +255,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(render_trace(trace_root))
     if args.explain_json:
         print(json.dumps(explain_json(trace_root), indent=2))
+    _write_telemetry(args, trace_root)
     return 0
 
 
@@ -270,7 +308,46 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"hit ratio {pager.cache_hit_ratio:.3f}"
         + ("" if pager.cache_pages else " (disabled)")
     )
+    _print_histogram_tables()
     return 0
+
+
+def _print_histogram_tables() -> None:
+    """Quantile tables for every registered histogram (fixed and HDR).
+
+    Part of ``repro stats``: all distribution instruments that have
+    recorded observations this process -- candidates per query, batch
+    sizes, per-table probe candidates, query latencies -- render as one
+    p50/p90/p99/p999 table, so ``stats`` after a workload shows tails,
+    not just point totals.
+    """
+    from repro.obs import metrics
+
+    instruments = [
+        ("fixed", hist)
+        for hist in metrics.registry.histograms().values()
+        if hist.count
+    ] + [
+        ("hdr", hist)
+        for hist in metrics.registry.hdr_histograms().values()
+        if hist.count
+    ]
+    if not instruments:
+        return
+    print("histograms:")
+    header = (
+        f"  {'name':<32}{'kind':>6}{'count':>9}{'mean':>11}"
+        f"{'p50':>11}{'p90':>11}{'p99':>11}{'p999':>11}"
+    )
+    print(header)
+    for kind, hist in sorted(instruments, key=lambda pair: pair[1].name):
+        print(
+            f"  {hist.name:<32}{kind:>6}{hist.count:>9}{hist.mean:>11.3f}"
+            + "".join(
+                f"{hist.quantile(q):>11.3f}"
+                for q in (0.50, 0.90, 0.99, 0.999)
+            )
+        )
 
 
 def cmd_snapshot(args: argparse.Namespace) -> int:
@@ -342,6 +419,47 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     batch = _snapshot_batch(args.path, query_sets, args, explain=False)
     _print_batch(batch)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``top``: dashboard over a query-event JSONL log.
+
+    Prints one dashboard frame and exits; with ``--follow`` the log is
+    re-read every ``--interval`` seconds (a harness appending events
+    with ``--events-out`` or ``EventLog.export_jsonl`` drives a live
+    view; interrupt with Ctrl-C).  ``--window`` restricts statistics to
+    the trailing N seconds of events.
+    """
+    from repro.obs import events as events_mod
+    from repro.obs import top as top_mod
+
+    path = Path(args.events)
+
+    def show() -> int:
+        try:
+            records = list(events_mod.read_jsonl(path))
+        except FileNotFoundError:
+            print(f"error: no such event log: {path}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not JSONL: {exc}", file=sys.stderr)
+            return 1
+        summary = top_mod.summarize(records, window_s=args.window)
+        print(top_mod.render(summary, source=str(path)))
+        return 0
+
+    if not args.follow:
+        return show()
+    try:
+        while True:
+            # Clear screen + home, then redraw from the re-read log.
+            print("\x1b[2J\x1b[H", end="")
+            code = show()
+            if code:
+                return code
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -428,6 +546,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend; 'process' maps a saved --snapshot "
              "from each worker process (genuine multi-core)",
     )
+    p_query.add_argument(
+        "--prom-out", metavar="FILE",
+        help="write the metrics registry as Prometheus text exposition",
+    )
+    p_query.add_argument(
+        "--events-out", metavar="FILE",
+        help="write the captured query events as JSON Lines (repro top input)",
+    )
+    p_query.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the traced span tree as Chrome trace-event JSON "
+             "(chrome://tracing / Perfetto); implies tracing",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_explain = sub.add_parser(
@@ -501,6 +632,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("thread", "process"), default="thread"
     )
     p_snap_serve.set_defaults(func=cmd_snapshot)
+
+    p_top = sub.add_parser(
+        "top", help="terminal dashboard over a query-event JSONL log"
+    )
+    p_top.add_argument(
+        "--events", required=True,
+        help="JSON Lines event log (query --events-out / EventLog.export_jsonl)",
+    )
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="re-read the log every --interval seconds (live view)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds for --follow (default 2)",
+    )
+    p_top.add_argument(
+        "--window", type=float, default=None,
+        help="only aggregate events within this many seconds of the newest",
+    )
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 

@@ -25,7 +25,7 @@ from repro.core.embedding import SetEmbedder
 from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIndex
 from repro.core.optimizer import SFI, IndexPlan, greedy_allocate, plan_index
 from repro.core.similarity import jaccard
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
 from repro.obs.explain import batch_probe_spans, probe_spans
 from repro.obs.trace import Span
 from repro.storage.iomodel import IOCostModel, IOStats
@@ -45,6 +45,9 @@ _BATCH_FETCHES_SAVED = metrics.counter("query.batch_fetches_saved")
 # Shared with the hash-table layer: bucket pages a grouped batch probe
 # avoided reading (several queries served from one bucket read).
 _BATCH_PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
+# Shared with the pager: buffer-pool hits, bracketed per query with the
+# calling thread's shard (the sequential paths run on one thread).
+_PAGER_CACHE_HITS = metrics.counter("pager.cache_hits")
 
 
 class FrozenIndexError(RuntimeError):
@@ -74,6 +77,12 @@ class QueryResult:
     sites keep working), and ``trace`` holds the root
     :class:`~repro.obs.trace.Span` when the query ran with tracing
     (``explain=True`` or an enclosing ``trace.capture``).
+
+    ``timings`` maps pipeline phases (``embed`` / ``probe`` / ``fetch``
+    / ``verify``, or ``scan``) to measured wall milliseconds.  It is
+    host-dependent observability, not part of the answer: like
+    ``trace`` it is excluded from equality, so bit-identical result
+    comparisons across backends and worker counts are unaffected.
     """
 
     answers: list[tuple[int, float]]
@@ -84,6 +93,9 @@ class QueryResult:
     n_candidates: int = -1
     n_verified: int = -1
     trace: Span | None = field(default=None, repr=False, compare=False)
+    timings: dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.n_candidates < 0:
@@ -131,6 +143,12 @@ class BatchQueryResult:
     #: :class:`~repro.exec.parallel.ParallelExecutor`; None otherwise.
     #: Wall-clock only -- excluded from equality like ``trace``.
     exec_stats: dict | None = field(default=None, repr=False, compare=False)
+    #: Batch-level phase wall milliseconds (``embed`` / ``probe`` /
+    #: ``fetch`` / ``verify``, or ``scan``); same contract as
+    #: :attr:`QueryResult.timings`.
+    timings: dict[str, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_queries(self) -> int:
@@ -564,6 +582,9 @@ class SetSimilarityIndex:
             raise ValueError(f"unknown strategy: {strategy!r}")
         if strategy == "auto":
             strategy = self.planner().choose(sigma_low, sigma_high)
+        wall0 = time.perf_counter()
+        hits_before = _PAGER_CACHE_HITS.local_value
+        timings: dict[str, float] = {}
         with trace.capture(
             "query",
             io=self.io,
@@ -575,13 +596,32 @@ class SetSimilarityIndex:
             before = self.io.snapshot()
             query_set = frozenset(elements)
             if strategy == "scan":
+                t0 = time.perf_counter()
                 candidates, answers = self._scan_query(
                     query_set, sigma_low, sigma_high
                 )
+                timings["scan"] = (time.perf_counter() - t0) * 1e3
             else:
-                candidates = self._candidates(query_set, sigma_low, sigma_high)
+                t0 = time.perf_counter()
+                candidates = self._candidates(
+                    query_set, sigma_low, sigma_high, timings=timings
+                )
+                # The candidates stage is embed + probe; report probe
+                # as its remainder after the measured embed slice.
+                timings["probe"] = max(
+                    0.0,
+                    (time.perf_counter() - t0) * 1e3
+                    - timings.get("embed", 0.0),
+                )
+                t0 = time.perf_counter()
                 answers = self._verify(
-                    query_set, candidates, sigma_low, sigma_high
+                    query_set, candidates, sigma_low, sigma_high,
+                    timings=timings,
+                )
+                timings["verify"] = max(
+                    0.0,
+                    (time.perf_counter() - t0) * 1e3
+                    - timings.get("fetch", 0.0),
                 )
             delta = self.io.snapshot() - before
             result = QueryResult(
@@ -591,9 +631,26 @@ class SetSimilarityIndex:
                 io_time=self.io.io_time(delta),
                 cpu_time=self.io.cpu_time(delta),
                 trace=root,
+                timings=timings,
             )
             if root is not None:
                 self._annotate_trace(root, result)
+        events.record_query(
+            "query",
+            latency_ms=(time.perf_counter() - wall0) * 1e3,
+            sim_time=result.total_time,
+            n_queries=1,
+            n_candidates=result.n_candidates,
+            n_verified=result.n_verified,
+            pages_read=delta.random_reads + delta.sequential_reads,
+            cache_hits=_PAGER_CACHE_HITS.local_value - hits_before,
+            backend="sequential",
+            workers=1,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            timings=timings,
+        )
         _QUERIES.inc()
         _QUERY_CANDIDATES.inc(result.n_candidates)
         _QUERY_VERIFIED.inc(result.n_verified)
@@ -618,6 +675,10 @@ class SetSimilarityIndex:
             cpu_time=result.cpu_time,
             total_time=result.total_time,
         )
+        if result.timings:
+            root.set(timings={
+                phase: round(ms, 3) for phase, ms in result.timings.items()
+            })
         answer_sids = result.answer_sids
         for span in probe_spans(root):
             sids = span.attrs.get("_sids")
@@ -716,6 +777,9 @@ class SetSimilarityIndex:
             strategy = self.planner().choose(sigma_low, sigma_high)
         query_sets = [frozenset(q) for q in queries]
         saved_before = _BATCH_PAGES_SAVED.local_value
+        hits_before = _PAGER_CACHE_HITS.local_value
+        wall0 = time.perf_counter()
+        timings: dict[str, float] = {}
         with trace.capture(
             "query_batch",
             io=self.io,
@@ -727,17 +791,31 @@ class SetSimilarityIndex:
         ) as root:
             before = self.io.snapshot()
             if strategy == "scan":
+                t0 = time.perf_counter()
                 candidates_list, answers_list = self._scan_query_batch(
                     query_sets, sigma_low, sigma_high
                 )
+                timings["scan"] = (time.perf_counter() - t0) * 1e3
                 fetches_saved = 0
             else:
+                t0 = time.perf_counter()
                 candidates_list, matrix, rows = self._candidates_batch(
-                    query_sets, sigma_low, sigma_high
+                    query_sets, sigma_low, sigma_high, timings=timings
                 )
+                timings["probe"] = max(
+                    0.0,
+                    (time.perf_counter() - t0) * 1e3
+                    - timings.get("embed", 0.0),
+                )
+                t0 = time.perf_counter()
                 answers_list, fetches_saved = self._verify_batch(
                     query_sets, candidates_list, sigma_low, sigma_high,
-                    matrix, rows,
+                    matrix, rows, timings=timings,
+                )
+                timings["verify"] = max(
+                    0.0,
+                    (time.perf_counter() - t0) * 1e3
+                    - timings.get("fetch", 0.0),
                 )
             delta = self.io.snapshot() - before
             if strategy == "scan":
@@ -764,9 +842,26 @@ class SetSimilarityIndex:
                 pages_saved=pages_saved,
                 fetches_saved=fetches_saved,
                 trace=root,
+                timings=timings,
             )
             if root is not None:
                 self._annotate_batch_trace(root, batch)
+        events.record_query(
+            "query_batch",
+            latency_ms=(time.perf_counter() - wall0) * 1e3,
+            sim_time=batch.total_time,
+            n_queries=batch.n_queries,
+            n_candidates=batch.n_candidates,
+            n_verified=batch.n_verified,
+            pages_read=delta.random_reads + delta.sequential_reads,
+            cache_hits=_PAGER_CACHE_HITS.local_value - hits_before,
+            backend="sequential",
+            workers=1,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            timings=timings,
+        )
         _QUERY_BATCHES.inc()
         _BATCH_SIZE.observe(batch.n_queries)
         _BATCH_FETCHES_SAVED.inc(fetches_saved)
@@ -824,7 +919,11 @@ class SetSimilarityIndex:
             return candidates_list, answers_list
 
     def _candidates_batch(
-        self, query_sets: list[frozenset], sigma_low: float, sigma_high: float
+        self,
+        query_sets: list[frozenset],
+        sigma_low: float,
+        sigma_high: float,
+        timings: dict[str, float] | None = None,
     ) -> tuple[list[set[int]], np.ndarray | None, list[int]]:
         """Batch counterpart of :meth:`_candidates`.
 
@@ -849,6 +948,7 @@ class SetSimilarityIndex:
             if not rows:
                 sp.set(plan="empty_queries")
                 return results, None, []
+            t_embed = time.perf_counter()
             with trace.span(
                 "embed_batch", k=self.embedder.k, n_queries=len(rows)
             ):
@@ -856,6 +956,8 @@ class SetSimilarityIndex:
                     [query_sets[i] for i in rows]
                 )
                 self.io.cpu(self.embedder.k * len(rows))
+            if timings is not None:
+                timings["embed"] = (time.perf_counter() - t_embed) * 1e3
 
             def sim(point: float) -> list[set[int]]:
                 return self._sfis[point].probe_batch(matrix)
@@ -921,6 +1023,7 @@ class SetSimilarityIndex:
         sigma_high: float,
         matrix: np.ndarray | None,
         rows: list[int],
+        timings: dict[str, float] | None = None,
     ) -> tuple[list[list[tuple[int, float]]], int]:
         """Fetch each distinct candidate once and verify all pairs.
 
@@ -941,7 +1044,10 @@ class SetSimilarityIndex:
             n_pairs=n_pairs,
         ) as sp:
             distinct = sorted(set().union(*candidates_list)) if candidates_list else []
+            t_fetch = time.perf_counter()
             fetched = {sid: self.store.get(sid) for sid in distinct}
+            if timings is not None:
+                timings["fetch"] = (time.perf_counter() - t_fetch) * 1e3
             fetches_saved = n_pairs - len(distinct)
             if self.columnar_verify:
                 answers_list = [
@@ -1098,6 +1204,10 @@ class SetSimilarityIndex:
             pages_saved=batch.pages_saved,
             fetches_saved=batch.fetches_saved,
         )
+        if batch.timings:
+            root.set(timings={
+                phase: round(ms, 3) for phase, ms in batch.timings.items()
+            })
         answer_sids = [r.answer_sids for r in batch.results]
         for cspan in root.find("candidates_batch"):
             rows = cspan.attrs.get("_rows")
@@ -1113,7 +1223,11 @@ class SetSimilarityIndex:
                 ))
 
     def _candidates(
-        self, query_set: frozenset, sigma_low: float, sigma_high: float
+        self,
+        query_set: frozenset,
+        sigma_low: float,
+        sigma_high: float,
+        timings: dict[str, float] | None = None,
     ) -> set[int]:
         lo, up = self._enclosing_points(sigma_low, sigma_high)
         with trace.span("candidates", lo=lo, up=up) as sp:
@@ -1126,9 +1240,12 @@ class SetSimilarityIndex:
                 # query can return anything -- handled above.
                 sp.set(plan="empty_query")
                 return set()
+            t_embed = time.perf_counter()
             with trace.span("embed", k=self.embedder.k):
                 vector = self.embedder.embed(query_set)
                 self.io.cpu(self.embedder.k)
+            if timings is not None:
+                timings["embed"] = (time.perf_counter() - t_embed) * 1e3
 
             def sim(point: float) -> set[int]:
                 return self._sfis[point].probe(vector)
@@ -1263,11 +1380,15 @@ class SetSimilarityIndex:
         candidates: set[int],
         sigma_low: float,
         sigma_high: float,
+        timings: dict[str, float] | None = None,
     ) -> list[tuple[int, float]]:
         """Fetch candidates from disk and keep exact in-range matches."""
         with trace.span("verify", n_candidates=len(candidates)) as sp:
             if self.columnar_verify:
+                t_fetch = time.perf_counter()
                 fetched = {sid: self.store.get(sid) for sid in sorted(candidates)}
+                if timings is not None:
+                    timings["fetch"] = (time.perf_counter() - t_fetch) * 1e3
                 answers = self._columnar_answers(
                     query_set, candidates, sigma_low, sigma_high, fetched
                 )

@@ -290,6 +290,46 @@ class ExperimentHarness:
                 )
         return [r for r in records if r is not None]
 
+    def telemetry_summary(self) -> dict:
+        """JSON-safe snapshot of the query-telemetry layer.
+
+        Latency quantiles (every non-empty HDR histogram: end-to-end
+        wall, per-phase, simulated), the candidate funnel, buffer-pool
+        hit accounting and the event-log sampler statistics -- the
+        numbers ``repro top`` renders, in one attachable dict.
+        Registry instruments are process-wide and monotonic, so this
+        describes everything recorded since the last
+        ``metrics.reset()``, not only this harness's queries.
+        """
+        from repro.obs import events, metrics
+
+        latency = {
+            name: hist.to_dict()
+            for name, hist in metrics.registry.hdr_histograms().items()
+            if hist.count
+        }
+        counters = metrics.counter_values()
+        n_candidates = counters.get("query.candidates", 0)
+        n_verified = counters.get("query.verified_hits", 0)
+        hits = counters.get("pager.cache_hits", 0)
+        misses = counters.get("pager.cache_misses", 0)
+        return {
+            "latency": latency,
+            "funnel": {
+                "queries": counters.get("query.count", 0),
+                "batches": counters.get("query.batches", 0),
+                "candidates": n_candidates,
+                "verified": n_verified,
+                "precision": n_verified / n_candidates if n_candidates else 0.0,
+            },
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_ratio": hits / (hits + misses) if hits + misses else 0.0,
+            },
+            "events": events.log.stats(),
+        }
+
     def bucket_summaries(
         self,
         records: Sequence[QueryRecord],

@@ -64,10 +64,11 @@ import numpy as np
 from repro.core.filter_index import record_batch_probe_counters
 from repro.core.index import BatchQueryResult, QueryResult
 from repro.hamming.bitvector import complement
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
 from repro.storage.iomodel import IOStats
 
 _PAGES_SAVED = metrics.counter("hashtable.probe_pages_saved")
+_CACHE_HITS = metrics.counter("pager.cache_hits")
 
 # The same instruments the live query path reports to (same names ->
 # same registry objects), so executor batches show up in `repro stats`.
@@ -190,26 +191,33 @@ class ParallelExecutor:
         With the process backend, ``specs`` carries the picklable
         ``(stage, *payload)`` form of each task
         (:func:`repro.exec.procpool.run_task`); results, IOStats and
-        counter deltas come back over the pool and the deltas are
-        folded into this process's registry, so downstream merge code
-        is backend-agnostic.
+        full-registry metric deltas (counters, gauges, histograms --
+        see :func:`repro.obs.metrics.registry_delta`) come back over
+        the pool.  The per-task deltas are merged order-independently
+        and folded into this process's registry in one application, so
+        downstream merge code is backend-agnostic and histogram
+        observations survive the process boundary.
         """
         if self.backend == "process":
             futures = [
                 self._pool.submit(self._procpool.run_task, spec)
                 for spec in specs
             ]
-            folded: dict[str, int] = {}
+            deltas: list[dict] = []
             for task, future in zip(tasks, futures):
                 out = future.result()
                 task.result = out["result"]
                 task.io = out["io"]
                 task.seconds = out["seconds"]
                 task.thread = out["worker"]
-                task.extra = out["counters"].get("hashtable.probe_pages_saved", 0)
-                for name, delta in out["counters"].items():
-                    folded[name] = folded.get(name, 0) + delta
-            metrics.apply_counter_deltas(folded)
+                payload = out.get("metrics") or {
+                    "counters": out.get("counters", {})
+                }
+                task.extra = payload.get("counters", {}).get(
+                    "hashtable.probe_pages_saved", 0
+                )
+                deltas.append(payload)
+            metrics.apply_deltas(metrics.merge_registry_deltas(deltas))
             _PARALLEL_TASKS.inc(len(tasks))
             return
 
@@ -253,6 +261,7 @@ class ParallelExecutor:
         query_sets = [frozenset(q) for q in queries]
         n = len(query_sets)
         wall0 = time.perf_counter()
+        hits_before = _CACHE_HITS.value
         all_tasks: list[_Task] = []
         with trace.capture(
             "query_batch",
@@ -306,8 +315,33 @@ class ParallelExecutor:
                 trace=root,
                 exec_stats=self._exec_stats(all_tasks, strategy, wall0),
             )
+            # Phase wall milliseconds: summed worker-task durations per
+            # stage (fetch accounting happens on the parent inside the
+            # verify merge, so the executor reports embed/probe/verify,
+            # or scan).
+            batch.timings = {
+                stage: seconds * 1e3
+                for stage, seconds in
+                batch.exec_stats["stage_seconds"].items()
+            }
             if root is not None:
                 self._annotate(root, batch)
+        events.record_query(
+            "query_batch",
+            latency_ms=(time.perf_counter() - wall0) * 1e3,
+            sim_time=batch.total_time,
+            n_queries=n,
+            n_candidates=batch.n_candidates,
+            n_verified=batch.n_verified,
+            pages_read=delta.random_reads + delta.sequential_reads,
+            cache_hits=_CACHE_HITS.value - hits_before,
+            backend=self.backend,
+            workers=self.workers,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            timings=batch.timings,
+        )
         _QUERY_BATCHES.inc()
         _PARALLEL_BATCHES.inc()
         _BATCH_SIZE.observe(n)
@@ -707,6 +741,10 @@ class ParallelExecutor:
             pages_saved=batch.pages_saved,
             fetches_saved=batch.fetches_saved,
         )
+        if batch.timings:
+            root.set(timings={
+                phase: round(ms, 3) for phase, ms in batch.timings.items()
+            })
         answer_sids = [r.answer_sids for r in batch.results]
         for cspan in root.find("candidates_batch"):
             rows = cspan.attrs.get("_rows")

@@ -14,12 +14,16 @@ parent needs to merge deterministically:
 
 - the stage result (probe sid lists / embedding matrix / answers);
 - the task's private :class:`~repro.storage.iomodel.IOStats`;
-- the task's **module-counter deltas**.  Workers are single-threaded,
-  so a before/after read of the registry
-  (:func:`repro.obs.metrics.counter_values`) brackets exactly this
-  task's movements; the parent folds the deltas into its own registry
-  (:func:`repro.obs.metrics.apply_counter_deltas`), making process
-  totals indistinguishable from thread-backend totals.
+- the task's **full-registry metrics delta**.  Workers are
+  single-threaded, so a before/after snapshot of the registry
+  (:func:`repro.obs.metrics.registry_values`) brackets exactly this
+  task's movements -- counters, gauges, fixed-bucket *and* HDR
+  histograms; the parent folds the delta into its own registry
+  (:func:`repro.obs.metrics.apply_deltas`), making process totals
+  indistinguishable from thread-backend totals for every instrument
+  kind.  (The historical payload shipped counters only, silently
+  dropping histogram observations -- e.g. ``sfi.table_candidates`` --
+  at the process boundary.)
 """
 
 from __future__ import annotations
@@ -73,20 +77,19 @@ def run_task(spec: tuple) -> dict:
     returned merge payload."""
     stage = spec[0]
     io = IOStats()
-    before = metrics.counter_values()
+    before = metrics.registry_values()
     t0 = time.perf_counter()
     result = _STAGES[stage](_SNAP, io, *spec[1:])
     seconds = time.perf_counter() - t0
-    after = metrics.counter_values()
-    counters = {
-        name: after[name] - before.get(name, 0)
-        for name in after
-        if after[name] != before.get(name, 0)
-    }
+    after = metrics.registry_values()
+    delta = metrics.registry_delta(before, after)
     return {
         "result": result,
         "io": io,
         "seconds": seconds,
         "worker": f"pid-{os.getpid()}",
-        "counters": counters,
+        # Full-registry delta, plus the counter slice under its legacy
+        # key so mixed-version parents keep folding counters.
+        "metrics": delta,
+        "counters": delta.get("counters", {}),
     }

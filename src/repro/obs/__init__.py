@@ -13,6 +13,17 @@ system (and every future tuning experiment) builds on:
 :mod:`repro.obs.metrics`
     A process-wide registry of named counters, gauges and histograms
     (buckets probed, candidates per filter, verification hits, ...).
+:mod:`repro.obs.hdr`
+    Log-bucketed HDR-style histograms with bounded relative error and
+    an exact merge/delta algebra (latency quantiles that survive
+    thread sharding and process folding).
+:mod:`repro.obs.events`
+    Ring-buffered structured query events with probabilistic sampling
+    and an always-capture slow-query log; JSONL export for
+    ``repro top``.
+:mod:`repro.obs.export`
+    Prometheus text exposition of the metrics registry and Chrome
+    trace-event export of span trees, with format validators.
 :mod:`repro.obs.explain`
     Renders a completed query trace as a human-readable plan tree and
     as structured JSON (``repro query --explain`` / ``repro explain``).
@@ -24,14 +35,17 @@ Everything here is stdlib-only and adds near-zero overhead when
 disabled, so instrumentation can stay in the hot paths permanently.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import events, export, hdr, metrics, trace
 from repro.obs.explain import build_summaries, explain_json, render_trace
 from repro.obs.logs import configure_logging
 
 __all__ = [
     "build_summaries",
     "configure_logging",
+    "events",
     "explain_json",
+    "export",
+    "hdr",
     "metrics",
     "render_trace",
     "trace",

@@ -169,6 +169,16 @@ class Span:
     def duration_ms(self) -> float:
         return self.duration * 1e3
 
+    @property
+    def start(self) -> float:
+        """``perf_counter`` timestamp at span entry.
+
+        Monotonic within the process, so span starts are mutually
+        comparable -- the timeline basis for the Chrome-trace exporter
+        (:func:`repro.obs.export.chrome_trace`).
+        """
+        return self._t0
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation (``_``-prefixed attrs omitted)."""
         d: dict[str, Any] = {
@@ -208,6 +218,7 @@ class _NullSpan:
     children: list = []
     duration = 0.0
     duration_ms = 0.0
+    start = 0.0
     io_delta = None
 
     def __enter__(self) -> "_NullSpan":

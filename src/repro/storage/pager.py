@@ -28,11 +28,16 @@ from repro.storage.iomodel import IOCostModel
 #: Default page size in bytes (a common DBMS page size).
 DEFAULT_PAGE_SIZE = 4096
 
-# Process-wide buffer-pool instruments (surfaced by `repro stats` and
-# the metrics snapshot); the per-instance attributes below track one
-# pager's own history and are what `cache_hit_ratio` reads.
+# Process-wide buffer-pool instruments (surfaced by `repro stats`, the
+# metrics snapshot and the Prometheus exporter); the per-instance
+# attributes below track one pager's own history and are what
+# `cache_hit_ratio` reads.
 _CACHE_HITS = metrics.counter("pager.cache_hits")
 _CACHE_MISSES = metrics.counter("pager.cache_misses")
+# Point samples of the most recently active pager: pool occupancy and
+# hit rate as a scrapable gauge pair (`repro top`'s hit-rate panel).
+_CACHE_ENTRIES = metrics.gauge("pager.cache_entries")
+_CACHE_HIT_RATIO = metrics.gauge("pager.cache_hit_ratio")
 
 
 class Page:
@@ -127,12 +132,14 @@ class PageManager:
                 self._cache.move_to_end(page_id)
                 self.cache_hits += 1
                 _CACHE_HITS.inc()
+                self.publish_gauges()
                 return page
             self.cache_misses += 1
             _CACHE_MISSES.inc()
             self._cache[page_id] = None
             if len(self._cache) > self.cache_pages:
                 self._cache.popitem(last=False)
+            self.publish_gauges()
         if sequential:
             self.io.read_sequential()
         else:
@@ -167,6 +174,17 @@ class PageManager:
         """
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def publish_gauges(self) -> None:
+        """Export this pager's pool occupancy and hit rate as gauges.
+
+        Called on every buffer-pool lookup (two attribute stores and a
+        division) and safe to call ad hoc; with several pagers alive the
+        gauges describe the most recently active one (point samples are
+        last-write-wins by design).
+        """
+        _CACHE_ENTRIES.set(len(self._cache))
+        _CACHE_HIT_RATIO.set(self.cache_hit_ratio)
 
     def reset_cache(self) -> None:
         """Empty the buffer pool and zero this pager's hit/miss counts.
