@@ -1,0 +1,299 @@
+"""Always-on coalescing service: sustained QPS + tail latency (BENCH-SERVE).
+
+Measures what request coalescing buys a live server over the obvious
+per-request baseline, with the equivalence gate the whole serving
+stack must clear first:
+
+* **equivalence** -- a loadgen burst through a live
+  :class:`repro.serve.server.QueryServer` at workers 1/2/4 on both
+  the thread and process backends; every answer (sids, exact D_S
+  similarities, per-request ordering) must be **bit-identical** to a
+  direct ``query_batch`` on the same snapshot.  A run that fails this
+  gate exits non-zero regardless of its numbers.
+* **coalescing vs. none** -- the same closed-loop client burst against
+  (a) a no-coalescing server (``max_batch=1``: every request is its
+  own dispatch, the classic request-per-query service) and (b) the
+  coalescing server (``max_batch=64``, adaptive window), at several
+  client concurrency levels.  Reported per level: sustained QPS,
+  client-observed p50/p99, and the micro-batch sizes the coalescer
+  discovered on its own.  In full mode the run *fails* unless
+  coalescing improves both sustained QPS and p99 at >= 2 concurrency
+  levels -- converting BENCH_batch.json's per-query batch savings into
+  service-level wins.
+
+Both server and clients run in one process on one event loop (the
+dispatch happens on the executor's thread), so the numbers are a
+single-host, GIL-shared measurement -- conservative for the coalesced
+side, which does strictly less per-request protocol work per answer.
+
+Run standalone (used by CI in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--out PATH]
+        [--artifacts DIR]
+
+Writes ``BENCH_serve.json``; with ``--artifacts DIR`` also exports the
+serve run's Prometheus text + query-event JSONL (the CI upload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+RANGE = (0.3, 0.9)
+
+EQUIV_WORKERS = (1, 2, 4)
+EQUIV_BACKENDS = ("thread", "process")
+
+# Client concurrency levels: (connections, pipeline depth per conn).
+LEVELS = ((4, 1), (16, 2), (32, 4))
+SMOKE_LEVELS = ((2, 1), (8, 2))
+
+
+def build_workload(n_sets: int, n_queries: int, seed: int, snapdir: Path):
+    """Planted-cluster collection -> built index -> saved snapshot +
+    a query pool mixing members and randoms."""
+    import numpy as np
+
+    from repro.core.index import SetSimilarityIndex
+    from repro.data.generators import planted_clusters
+
+    per_cluster = 10
+    sets = planted_clusters(
+        n_clusters=max(1, n_sets // per_cluster),
+        per_cluster=per_cluster,
+        base_size=30,
+        universe=6_000,
+        mutation_rate=0.2,
+        seed=seed,
+    )
+    index = SetSimilarityIndex.build(
+        sets, budget=60, recall_target=0.85, k=32, b=4, seed=seed,
+        sample_pairs=4_000,
+    )
+    index.save_snapshot(snapdir)
+    rng = np.random.default_rng(seed)
+    queries = [sets[int(rng.integers(len(sets)))] for _ in range(n_queries - 2)]
+    queries.append(frozenset(int(x) for x in rng.integers(0, 6_000, size=12)))
+    queries.append(frozenset())
+    return index, queries
+
+
+async def _run_burst(snapdir, queries, *, config, connections, pipeline,
+                     total, return_candidates=False):
+    from repro.serve import QueryServer, run_loadgen
+
+    server = QueryServer(snapdir, config)
+    await server.start()
+    try:
+        result = await run_loadgen(
+            "127.0.0.1", server.port, queries, *RANGE,
+            connections=connections, total=total, pipeline=pipeline,
+            return_candidates=return_candidates,
+        )
+    finally:
+        server.request_drain()
+        await server.drain()
+    return result, server.stats()
+
+
+def equivalence_gate(snapdir, index, queries) -> list[dict]:
+    """Serve at every (worker, backend) combination; compare bit-for-bit."""
+    from repro.serve import ServeConfig
+
+    direct = index.query_batch(queries, *RANGE)
+    rows = []
+    for backend in EQUIV_BACKENDS:
+        for workers in EQUIV_WORKERS:
+            config = ServeConfig(
+                workers=workers, backend=backend,
+                max_batch=16, max_wait_ms=2.0,
+            )
+            result, _ = asyncio.run(_run_burst(
+                snapdir, queries, config=config,
+                connections=4, pipeline=2, total=3 * len(queries),
+                return_candidates=True,
+            ))
+            identical = not result.errors and set(result.answers) == set(
+                range(len(queries))
+            )
+            for qidx, answers in result.answers.items():
+                want = [(int(s), float(v)) for s, v in
+                        direct.results[qidx].answers]
+                if answers != want:
+                    identical = False
+            for qidx, cands in result.candidates.items():
+                if cands != sorted(int(s) for s in
+                                   direct.results[qidx].candidates):
+                    identical = False
+            rows.append({
+                "backend": backend,
+                "workers": workers,
+                "requests": result.n_ok,
+                "identical_to_query_batch": identical,
+            })
+            print(f"  equivalence {backend} workers={workers}: "
+                  f"{'OK' if identical else 'FAILED'} ({result.n_ok} requests)")
+    return rows
+
+
+def measure_levels(snapdir, queries, levels, total, repeats) -> list[dict]:
+    """Coalesced vs. uncoalesced serving at each concurrency level.
+    Per cell, keep the best-QPS repeat (steady-state estimate)."""
+    from repro.serve import ServeConfig
+
+    rows = []
+    for connections, pipeline in levels:
+        cell: dict = {"connections": connections, "pipeline": pipeline,
+                      "concurrency": connections * pipeline,
+                      "requests": total}
+        for label, config in (
+            ("uncoalesced", ServeConfig(max_batch=1, max_wait_ms=0.0,
+                                        adaptive=False)),
+            ("coalesced", ServeConfig(max_batch=64, max_wait_ms=2.0,
+                                      adaptive=True)),
+        ):
+            best = None
+            for _ in range(repeats):
+                result, stats = asyncio.run(_run_burst(
+                    snapdir, queries, config=config,
+                    connections=connections, pipeline=pipeline, total=total,
+                ))
+                if result.errors:
+                    raise SystemExit(
+                        f"BENCH-SERVE: {label} burst saw errors: {result.errors}"
+                    )
+                summary = result.summary()
+                summary["mean_batch_size"] = stats["mean_batch_size"]
+                summary["batches"] = stats["batches"]
+                if best is None or summary["qps"] > best["qps"]:
+                    best = summary
+            cell[label] = best
+        cell["qps_speedup"] = round(
+            cell["coalesced"]["qps"] / cell["uncoalesced"]["qps"], 3
+        ) if cell["uncoalesced"]["qps"] else None
+        cell["p99_ratio"] = round(
+            cell["coalesced"]["latency_ms"]["p99"]
+            / cell["uncoalesced"]["latency_ms"]["p99"], 3
+        ) if cell["uncoalesced"]["latency_ms"]["p99"] else None
+        print(
+            f"  c={connections}x{pipeline}: "
+            f"uncoalesced {cell['uncoalesced']['qps']:.0f} qps "
+            f"p99 {cell['uncoalesced']['latency_ms']['p99']:.2f}ms | "
+            f"coalesced {cell['coalesced']['qps']:.0f} qps "
+            f"p99 {cell['coalesced']['latency_ms']['p99']:.2f}ms "
+            f"(mean batch {cell['coalesced']['mean_batch_size']:.1f}) "
+            f"-> {cell['qps_speedup']}x qps, p99 x{cell['p99_ratio']}"
+        )
+        rows.append(cell)
+    return rows
+
+
+def export_artifacts(snapdir, queries, artifacts: Path) -> None:
+    """One instrumented serve run whose telemetry ships as CI artifacts."""
+    from repro.obs import events, export
+    from repro.serve import ServeConfig
+
+    artifacts.mkdir(parents=True, exist_ok=True)
+    events.log.clear()
+    asyncio.run(_run_burst(
+        snapdir, queries,
+        config=ServeConfig(max_batch=32, max_wait_ms=2.0),
+        connections=8, pipeline=2, total=8 * len(queries),
+    ))
+    (artifacts / "serve_metrics.prom").write_text(export.prometheus_text())
+    n = events.log.export_jsonl(artifacts / "serve_events.jsonl", which="all")
+    print(f"  artifacts: serve_metrics.prom + serve_events.jsonl "
+          f"({n} events) -> {artifacts}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload, no speedup gate (CI); equivalence still gates",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--artifacts", type=Path, default=None,
+        help="directory for the serve run's Prometheus/event exports",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_sets, n_queries, total, repeats, levels = 200, 12, 120, 1, SMOKE_LEVELS
+    else:
+        n_sets, n_queries, total, repeats, levels = 2_000, 24, 1_500, 3, LEVELS
+
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        snapdir = Path(tmp) / "snap"
+        print(f"building workload: {n_sets} sets, {n_queries} query pool")
+        index, queries = build_workload(n_sets, n_queries, seed=7,
+                                        snapdir=snapdir)
+        print("equivalence gate (served == direct query_batch):")
+        equivalence = equivalence_gate(snapdir, index, queries)
+        print("coalesced vs uncoalesced serving:")
+        rows = []
+        for connections, pipeline in levels:
+            rows.extend(measure_levels(
+                snapdir, queries, [(connections, pipeline)], total, repeats
+            ))
+        if args.artifacts:
+            export_artifacts(snapdir, queries, args.artifacts)
+
+    payload = {
+        "bench": "serve",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "n_sets": n_sets, "query_pool": n_queries,
+            "requests_per_burst": total, "range": list(RANGE),
+            "repeats": repeats,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "single_core_host": (os.cpu_count() or 1) <= 1,
+        },
+        "note": (
+            "server + clients share one process/GIL; dispatch runs on the "
+            "executor thread.  Coalesced = max_batch 64, adaptive 2ms "
+            "window; uncoalesced = max_batch 1 (one dispatch per request)."
+        ),
+        "equivalence": equivalence,
+        "levels": rows,
+        "wall_seconds": round(time.perf_counter() - t0, 2),
+    }
+
+    failed = [r for r in payload["equivalence"]
+              if not r["identical_to_query_batch"]]
+    if failed:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        raise SystemExit(f"BENCH-SERVE: equivalence gate FAILED: {failed}")
+    if not args.smoke:
+        improved = [
+            r for r in rows
+            if r["qps_speedup"] and r["qps_speedup"] > 1.0
+            and r["p99_ratio"] and r["p99_ratio"] < 1.0
+        ]
+        if len(improved) < 2:
+            args.out.write_text(json.dumps(payload, indent=2) + "\n")
+            raise SystemExit(
+                "BENCH-SERVE: coalescing must beat the uncoalesced baseline "
+                "on QPS and p99 at >= 2 concurrency levels; got "
+                f"{[(r['concurrency'], r['qps_speedup'], r['p99_ratio']) for r in rows]}"
+            )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli snapshot info   --path snap.d
     python -m repro.cli snapshot verify --path snap.d
     python -m repro.cli snapshot serve  --path snap.d --set "a b c" --low 0.4 [--workers N --backend process]
+    python -m repro.cli serve   --snapshot snap.d [--port 7407 --workers N --backend process --max-batch 64]
+    python -m repro.cli loadgen --port 7407 --sets-file queries.txt --connections 16 --total 2000
     python -m repro.cli top     --events events.jsonl [--follow] [--window 60]
 
 The input format for ``build`` is one set per line, elements separated
@@ -36,6 +38,15 @@ raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
 each map the same snapshot (spawn start method, genuine multi-core);
 answers and accounting stay bit-identical to the sequential path at
 any worker count and backend.
+
+``serve`` runs the always-on coalescing query service over a mapped
+snapshot (:mod:`repro.serve`): concurrent newline-delimited-JSON
+clients, micro-batched ``query_batch`` dispatch under a tunable
+window, admission control with typed ``overloaded`` responses, and a
+graceful drain on SIGTERM.  ``loadgen`` is its closed-loop benchmark
+client (QPS + latency percentiles + observed batch sizes).  The
+one-shot ``snapshot serve`` remains for single batches but is
+deprecated in favor of ``serve``.
 
 Telemetry: ``query`` accepts ``--prom-out`` (Prometheus text
 exposition of the full metrics registry), ``--events-out`` (the
@@ -408,7 +419,15 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             f"{summary['filters']} filters -- all checksums pass"
         )
         return 0
-    # serve
+    # serve (one-shot; deprecated in favor of the always-on `repro serve`)
+    print(
+        "# deprecated: 'snapshot serve' answers one batch and exits; "
+        "use 'repro serve --snapshot DIR' for the always-on coalescing "
+        "query service (and 'repro loadgen' to drive it)",
+        file=sys.stderr,
+    )
+    from repro.serve import protocol
+
     query_sets = [frozenset(s.split()) for s in (args.set or [])]
     if args.sets_file:
         query_sets.extend(read_sets(Path(args.sets_file)))
@@ -416,9 +435,134 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
         print("error: no query sets given (use --set and/or --sets-file)",
               file=sys.stderr)
         return 2
-    batch = _snapshot_batch(args.path, query_sets, args, explain=False)
-    _print_batch(batch)
+    # Route the parameters through the service codec so the one-shot
+    # path validates (and fails) exactly like the live server.
+    try:
+        requests = [
+            protocol.decode_request(
+                protocol.encode_request(i, qs, args.low, args.high, args.strategy)
+            )
+            for i, qs in enumerate(query_sets)
+        ]
+    except protocol.ProtocolError as exc:
+        print(f"error [{exc.etype}]: {exc}", file=sys.stderr)
+        return 2
+    batch = _snapshot_batch(
+        args.path, [r.elements for r in requests], args, explain=False
+    )
+    if getattr(args, "json_lines", False):
+        for request, result in zip(requests, batch.results):
+            answer = protocol.QueryAnswer(
+                answers=result.answers,
+                n_candidates=result.n_candidates,
+                batch_size=batch.n_queries,
+            )
+            sys.stdout.buffer.write(
+                protocol.encode_line(protocol.response_ok(request.id, answer))
+            )
+        sys.stdout.flush()
+    else:
+        _print_batch(batch)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: the always-on coalescing query service.
+
+    Opens the snapshot once, binds a TCP socket and serves
+    newline-delimited JSON queries until SIGTERM/SIGINT, coalescing
+    concurrent requests into ``query_batch`` micro-batches (see
+    :mod:`repro.serve.server`).  On drain, honors ``--prom-out`` /
+    ``--events-out`` so a supervised run leaves its telemetry behind.
+    """
+    import asyncio
+
+    from repro.serve import QueryServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        adaptive=not args.no_adaptive,
+    )
+
+    async def main() -> None:
+        server = QueryServer(args.snapshot, config)
+        await server.start()
+        print(
+            f"# serving {server.snapshot.n_sets} sets on "
+            f"{config.host}:{server.port} -- backend={config.backend} "
+            f"workers={config.workers} max_batch={config.max_batch} "
+            f"max_wait={config.max_wait_ms}ms max_pending={config.max_pending}",
+            file=sys.stderr, flush=True,
+        )
+        server.install_signal_handlers()
+        await server.serve_forever()
+        stats = server.stats()
+        print(
+            f"# drained: {stats['submitted']} requests in {stats['batches']} "
+            f"batches (mean size {stats['mean_batch_size']:.1f}), "
+            f"{stats['rejected_overload']} overload rejections",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    _write_telemetry(args, None)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``loadgen``: closed-loop benchmark client for ``repro serve``.
+
+    Query sets come from ``--set``/``--sets-file`` or are synthesized
+    (``--synthetic N`` random integer sets, seeded).  Prints a JSON
+    summary -- QPS, latency percentiles, observed micro-batch sizes,
+    typed error counts -- to stdout.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.serve import run_loadgen
+
+    query_sets: list[frozenset] = [
+        frozenset(s.split()) for s in (args.set or [])
+    ]
+    if args.sets_file:
+        query_sets.extend(read_sets(Path(args.sets_file)))
+    if args.synthetic:
+        rng = np.random.default_rng(args.seed)
+        query_sets.extend(
+            frozenset(int(x) for x in rng.integers(0, args.universe, size=args.set_size))
+            for _ in range(args.synthetic)
+        )
+    if not query_sets:
+        print("error: no query sets (use --set, --sets-file or --synthetic N)",
+              file=sys.stderr)
+        return 2
+
+    result = asyncio.run(run_loadgen(
+        args.host, args.port, query_sets, args.low, args.high,
+        connections=args.connections, total=args.total,
+        duration=args.duration, strategy=args.strategy,
+        pipeline=args.pipeline,
+    ))
+    summary = result.summary()
+    print(json.dumps(summary, indent=2))
+    print(
+        f"# {summary['n_ok']}/{summary['n_sent']} ok at {summary['qps']} qps, "
+        f"p50/p99 {summary['latency_ms']['p50']}/{summary['latency_ms']['p99']} ms, "
+        f"mean batch {summary['batch_size']['mean']}",
+        file=sys.stderr,
+    )
+    return 0 if summary["n_ok"] == summary["n_sent"] else 1
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -631,7 +775,108 @@ def build_parser() -> argparse.ArgumentParser:
     p_snap_serve.add_argument(
         "--backend", choices=("thread", "process"), default="thread"
     )
+    p_snap_serve.add_argument(
+        "--json-lines", action="store_true",
+        help="emit service-codec JSON responses instead of TSV lines",
+    )
     p_snap_serve.set_defaults(func=cmd_snapshot)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="always-on coalescing query service over a mapped snapshot",
+    )
+    p_serve.add_argument(
+        "--snapshot", required=True, help="snapshot directory (snapshot save)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7407,
+        help="TCP port (0 picks an ephemeral port, printed on stderr)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="executor pool size per micro-batch",
+    )
+    p_serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="'process' serves batches from spawn workers mapping the "
+             "same snapshot",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batch size cap; reaching it dispatches immediately",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="coalescing window upper bound per request (ms)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="admission bound; beyond it requests get a typed "
+             "'overloaded' response",
+    )
+    p_serve.add_argument(
+        "--no-adaptive", action="store_true",
+        help="pin the window at --max-wait-ms instead of adapting it "
+             "to the measured arrival rate",
+    )
+    p_serve.add_argument(
+        "--prom-out", metavar="FILE",
+        help="on drain, write the metrics registry as Prometheus text",
+    )
+    p_serve.add_argument(
+        "--events-out", metavar="FILE",
+        help="on drain, write captured query events as JSON Lines",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="closed-loop load generator for `repro serve`"
+    )
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=7407)
+    p_loadgen.add_argument(
+        "--set", action="append",
+        help="query elements, space separated (repeatable)",
+    )
+    p_loadgen.add_argument(
+        "--sets-file", help="one query set per line",
+    )
+    p_loadgen.add_argument(
+        "--synthetic", type=int, default=0, metavar="N",
+        help="add N random integer query sets (seeded)",
+    )
+    p_loadgen.add_argument("--seed", type=int, default=0)
+    p_loadgen.add_argument(
+        "--universe", type=int, default=2000,
+        help="element universe for --synthetic",
+    )
+    p_loadgen.add_argument(
+        "--set-size", type=int, default=20,
+        help="elements per synthetic query set",
+    )
+    p_loadgen.add_argument("--low", type=float, default=0.5)
+    p_loadgen.add_argument("--high", type=float, default=1.0)
+    p_loadgen.add_argument(
+        "--strategy", choices=("index", "scan", "auto"), default="index"
+    )
+    p_loadgen.add_argument(
+        "--connections", type=int, default=4,
+        help="concurrent client connections",
+    )
+    p_loadgen.add_argument(
+        "--pipeline", type=int, default=1,
+        help="requests each connection keeps in flight",
+    )
+    p_loadgen.add_argument(
+        "--total", type=int, default=None,
+        help="total requests (default: one pass over the query pool)",
+    )
+    p_loadgen.add_argument(
+        "--duration", type=float, default=None,
+        help="run for this many seconds instead of a fixed total",
+    )
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     p_top = sub.add_parser(
         "top", help="terminal dashboard over a query-event JSONL log"
