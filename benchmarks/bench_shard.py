@@ -1,0 +1,413 @@
+"""Sharded scatter-gather: equivalence, QPS scaling, budget skew (BENCH-SHARD).
+
+Measures what K-way sharding buys the serving path, behind the gate
+the whole shard layer must clear first:
+
+* **equivalence** -- at every K in {1, 2, 4, 8} x thread workers
+  {1, 2} x process workers {1}, a mirror-built shard fleet must answer
+  a query batch **bit-identically** to the unsharded ``query_batch``
+  on the same plan and seed: same sids, same exact D_S similarities,
+  same best-first ordering, same candidate sets (fingerprint-collision
+  false positives included).  A run that fails this gate exits
+  non-zero regardless of its numbers.
+* **scatter-gather QPS vs. unsharded** -- a closed-loop batch driver
+  against the unsharded executor and against ``ShardedExecutor`` at
+  each K.  Reported per K: measured wall QPS and a K-way-overlap
+  *modeled* QPS that replaces the serialized sum of per-shard walls
+  with their max (what concurrent shards deliver once the host has
+  K free cores -- per-shard walls are measured, not estimated; the
+  same convention as BENCH_parallel's LPT model on this 1-core bench
+  host).  Full mode gates modeled (or measured, when the host has >= 4
+  cores) K=4 process-backend QPS at >= 1.5x the unsharded baseline.
+* **serve-layer comparison** -- fixed-duration ``loadgen`` runs against
+  ``repro serve`` over the unsharded snapshot and over the K=4 fleet;
+  honest wall-clock, reported unconditionally, gated only on a
+  multi-core host.
+* **allocation skew** (always gated) -- a cluster-partitioned,
+  workload-tuned build under a hot single-cluster workload must route
+  the largest weight to the hot shard and give it at least as many
+  tables as the coldest shard: the Lemma 6 greedy spending the global
+  budget where the workload lives.
+
+Run standalone (used by CI in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py [--smoke] [--out PATH]
+
+Writes ``BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_shard.json"
+
+RANGE = (0.3, 0.9)
+SEED = 11
+
+K_LEVELS = (1, 2, 4, 8)
+SMOKE_K_LEVELS = (1, 2, 4)
+
+
+def build_workload(n_sets: int, n_queries: int, seed: int):
+    """Planted clusters -> global dist/plan/index + a mixed query pool."""
+    import numpy as np
+
+    from repro.core.distribution import SimilarityDistribution
+    from repro.core.index import SetSimilarityIndex
+    from repro.core.optimizer import plan_index
+    from repro.data.generators import planted_clusters
+
+    per_cluster = 10
+    sets = planted_clusters(
+        n_clusters=max(1, n_sets // per_cluster),
+        per_cluster=per_cluster,
+        base_size=30,
+        universe=6_000,
+        mutation_rate=0.2,
+        seed=seed,
+    )
+    dist = SimilarityDistribution.from_sets(
+        sets, sample_pairs=4_000, seed=seed
+    )
+    plan = plan_index(dist, 60, recall_target=0.85, b=4)
+    index = SetSimilarityIndex.from_plan(
+        sets, plan, dist, k=32, b=4, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    queries = [
+        sets[int(rng.integers(len(sets)))] for _ in range(n_queries * 3 // 4)
+    ]
+    queries += [
+        frozenset(int(x) for x in rng.integers(0, 6_000, size=24))
+        for _ in range(n_queries - len(queries))
+    ]
+    return sets, queries, dist, plan, index
+
+
+def batches_identical(got, want) -> bool:
+    if got.n_queries != want.n_queries:
+        return False
+    for g, w in zip(got.results, want.results):
+        if g.answers != w.answers or g.candidates != w.candidates:
+            return False
+    return True
+
+
+def run_equivalence(sets, queries, plan, dist, baseline, workdir, k_levels,
+                    smoke):
+    """Mirror-built fleets vs. the unsharded batch at every combo."""
+    from repro.exec.shard import ShardedExecutor, build_sharded, open_sharded
+
+    combos = []
+    for n_shards in k_levels:
+        combos.append((n_shards, "thread", 1))
+        combos.append((n_shards, "thread", 2))
+        if not smoke or n_shards <= 2:
+            combos.append((n_shards, "process", 1))
+    rows = []
+    for n_shards, backend, workers in combos:
+        shard_dir = workdir / f"equiv-k{n_shards}"
+        if not shard_dir.exists():
+            build_sharded(
+                sets, shard_dir, n_shards=n_shards, k=32, b=4, seed=SEED,
+                plan=plan, dist=dist,
+            )
+        with ShardedExecutor(
+            open_sharded(shard_dir), workers=workers, backend=backend
+        ) as executor:
+            got = executor.query_batch(queries, *RANGE)
+        ok = batches_identical(got, baseline)
+        rows.append({
+            "n_shards": n_shards,
+            "backend": backend,
+            "workers": workers,
+            "identical": ok,
+        })
+        status = "bit-identical" if ok else "MISMATCH"
+        print(f"  equivalence K={n_shards} {backend} x{workers}: {status}")
+    return rows
+
+
+def run_throughput(snap_dir, queries, workdir, k_levels, repeats, backend):
+    """Closed-loop batch driver: unsharded vs. ShardedExecutor per K.
+
+    Two passes per K, each timed per repeat with the **best repeat**
+    reported (the standard noise floor on a shared host).  The
+    *measured* pass scatters normally (threads interleave on a
+    shared-GIL host, so per-shard walls overlap and the parent wall is
+    the honest single-host number).  The *modeled* pass times each
+    shard's batch **in isolation, serially** -- no interleaving
+    inflates it -- and models K-way overlap as ``max(isolated shard
+    walls) + measured merge``: what concurrent shards deliver once the
+    host has K free cores, built entirely from measured quantities
+    (same convention as BENCH_parallel's LPT model).
+    """
+    from repro.exec.parallel import ParallelExecutor
+    from repro.exec.shard import ShardedExecutor, open_sharded
+
+    n_queries = len(queries)
+    with ParallelExecutor(snap_dir, workers=1, backend=backend) as executor:
+        executor.query_batch(queries[:4], *RANGE)  # warm (spawn, caches)
+        base_walls = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            executor.query_batch(queries, *RANGE)
+            base_walls.append(time.perf_counter() - t0)
+    base_wall = min(base_walls)
+    baseline = {
+        "backend": backend,
+        "workers": 1,
+        "repeats": repeats,
+        "best_wall_seconds": round(base_wall, 4),
+        "qps": round(n_queries / base_wall, 1),
+    }
+    print(f"  unsharded {backend}: {baseline['qps']} qps")
+
+    rows = []
+    for n_shards in k_levels:
+        shard_dir = workdir / f"equiv-k{n_shards}"
+        with ShardedExecutor(
+            open_sharded(shard_dir), workers=1, backend=backend
+        ) as executor:
+            executor.query_batch(queries[:4], *RANGE)
+            walls = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                batch = executor.query_batch(queries, *RANGE)
+                walls.append(time.perf_counter() - t0)
+                merge = batch.exec_stats["merge_seconds"]
+            # Modeled pass: isolated per-shard walls, no interleaving.
+            modeled_walls = []
+            skews = []
+            for _ in range(repeats):
+                isolated = []
+                for shard_executor in executor._executors.values():
+                    t0 = time.perf_counter()
+                    shard_executor.query_batch(queries, *RANGE)
+                    isolated.append(time.perf_counter() - t0)
+                modeled_walls.append(max(isolated) + merge)
+                mean = sum(isolated) / len(isolated)
+                skews.append(max(isolated) / mean if mean > 0 else 1.0)
+        wall = min(walls)
+        modeled = min(modeled_walls)
+        rows.append({
+            "n_shards": n_shards,
+            "backend": backend,
+            "workers": 1,
+            "best_wall_seconds": round(wall, 4),
+            "measured_qps": round(n_queries / wall, 1),
+            "measured_speedup": round(base_wall / wall, 2),
+            "modeled_wall_seconds": round(modeled, 4),
+            "modeled_qps": round(n_queries / modeled, 1),
+            "modeled_speedup": round(base_wall / modeled, 2),
+            "mean_shard_skew": round(sum(skews) / len(skews), 2),
+        })
+        row = rows[-1]
+        print(
+            f"  sharded K={n_shards} {backend}: measured {row['measured_qps']}"
+            f" qps ({row['measured_speedup']}x), modeled {row['modeled_qps']}"
+            f" qps ({row['modeled_speedup']}x)"
+        )
+    return {"baseline": baseline, "sharded": rows}
+
+
+def run_serve_comparison(snap_dir, shard_dir, queries, duration, workers):
+    """Fixed-duration loadgen against serve over snapshot vs. fleet."""
+    from repro.serve import QueryServer, ServeConfig, run_loadgen
+
+    async def drive(target):
+        server = QueryServer(target, ServeConfig(port=0, workers=workers))
+        await server.start()
+        result = await run_loadgen(
+            "127.0.0.1", server.port, queries, *RANGE,
+            connections=8, total=None, duration=duration,
+            strategy="index", pipeline=2,
+        )
+        server.request_drain()
+        await server.drain()
+        summary = result.summary()
+        return {
+            "qps": summary["qps"],
+            "p50_ms": summary["latency_ms"]["p50"],
+            "p99_ms": summary["latency_ms"]["p99"],
+            "n_ok": summary["n_ok"],
+            "duration_seconds": duration,
+        }
+
+    unsharded = asyncio.run(drive(snap_dir))
+    sharded = asyncio.run(drive(shard_dir))
+    print(
+        f"  serve {duration:.1f}s: unsharded {unsharded['qps']} qps "
+        f"p99 {unsharded['p99_ms']}ms | sharded {sharded['qps']} qps "
+        f"p99 {sharded['p99_ms']}ms"
+    )
+    return {"unsharded": unsharded, "sharded": sharded}
+
+
+def run_allocation_skew(sets, workdir, n_shards=4, budget=60):
+    """Cluster partition + hot workload: does the budget follow heat?"""
+    from repro.exec.shard import build_sharded
+
+    hot_queries = [sets[0]] * 24  # hammer one planted cluster
+    manifest = build_sharded(
+        sets, workdir / "tuned", n_shards=n_shards, partition="cluster",
+        tune="workload", budget=budget, recall_target=0.85, k=32, b=4,
+        seed=SEED, sample_pairs=4_000, workload=hot_queries,
+        workload_range=RANGE,
+    )
+    entries = manifest["shards"]
+    hot = max(entries, key=lambda e: e["weight"])
+    cold = min(entries, key=lambda e: e["weight"])
+    shifted = (
+        hot["weight"] > cold["weight"] and hot["tables"] >= cold["tables"]
+    )
+    print(
+        f"  allocation: hot {hot['dir']} weight {hot['weight']:.3f} -> "
+        f"{hot['tables']} tables; cold {cold['dir']} weight "
+        f"{cold['weight']:.3f} -> {cold['tables']} tables "
+        f"({'shifted' if shifted else 'NOT SHIFTED'})"
+    )
+    return {
+        "partition": "cluster",
+        "tune": "workload",
+        "budget": budget,
+        "n_shards": n_shards,
+        "total_tables": sum(e["tables"] for e in entries),
+        "shards": [
+            {"dir": e["dir"], "n_sets": e["n_sets"],
+             "weight": e["weight"], "tables": e["tables"]}
+            for e in entries
+        ],
+        "hot_shard": hot["dir"],
+        "cold_shard": cold["dir"],
+        "budget_shifted_to_hot": shifted,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload, no full-mode gates")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    from repro.exec.parallel import ParallelExecutor
+
+    smoke = args.smoke
+    n_sets = 300 if smoke else 3_000
+    n_queries = 16 if smoke else 48
+    repeats = 2 if smoke else 5
+    k_levels = SMOKE_K_LEVELS if smoke else K_LEVELS
+    duration = 1.0 if smoke else 2.5
+    cpu_count = os.cpu_count() or 1
+
+    print(f"workload: {n_sets} sets, {n_queries} queries, "
+          f"range {RANGE}, {'smoke' if smoke else 'full'} mode")
+    sets, queries, dist, plan, index = build_workload(n_sets, n_queries, SEED)
+    baseline_batch = ParallelExecutor(index.freeze(), workers=1).query_batch(
+        queries, *RANGE
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_shard-") as td:
+        workdir = Path(td)
+        print("equivalence gate:")
+        equivalence = run_equivalence(
+            sets, queries, plan, dist, baseline_batch, workdir, k_levels,
+            smoke,
+        )
+        snap_dir = workdir / "snapdir"
+        index.save_snapshot(snap_dir)
+        print("throughput (direct executors):")
+        bench_backend = "thread" if smoke else "process"
+        throughput = run_throughput(
+            snap_dir, queries, workdir, k_levels, repeats, bench_backend
+        )
+        print("serve-layer comparison (fixed duration):")
+        serve_k = 4 if 4 in k_levels else max(k_levels)
+        serve = run_serve_comparison(
+            snap_dir, workdir / f"equiv-k{serve_k}", queries, duration,
+            workers=2,
+        )
+        print("allocation skew:")
+        allocation = run_allocation_skew(
+            sets, workdir, n_shards=4, budget=60
+        )
+
+    equivalence_ok = all(r["identical"] for r in equivalence)
+    k4 = next(
+        (r for r in throughput["sharded"] if r["n_shards"] == serve_k), None
+    )
+    multi_core = cpu_count >= 4
+    if multi_core:
+        k4_speedup = k4["measured_speedup"] if k4 else 0.0
+        speedup_basis = "measured"
+    else:
+        k4_speedup = k4["modeled_speedup"] if k4 else 0.0
+        speedup_basis = "modeled"
+    gates = {
+        "equivalence_ok": equivalence_ok,
+        "budget_shifted_to_hot": allocation["budget_shifted_to_hot"],
+        "k4_backend": bench_backend,
+        "k4_speedup": k4_speedup,
+        "k4_speedup_basis": speedup_basis,
+        "k4_speedup_ok": k4_speedup >= 1.5,
+    }
+
+    report = {
+        "experiment": "BENCH-SHARD",
+        "workload": {
+            "generator": "planted_clusters",
+            "n_sets": n_sets,
+            "n_queries": n_queries,
+            "repeats": repeats,
+            "budget": 60,
+            "k": 32,
+            "seed": SEED,
+            "range": list(RANGE),
+            "mode": "smoke" if smoke else "full",
+        },
+        "host": {
+            "cpu_count": cpu_count,
+            "single_core_host": cpu_count == 1,
+        },
+        "metric_note": (
+            "equivalence compares answers (sids, exact similarities, "
+            "best-first ordering) and candidate sets against the unsharded "
+            "query_batch; modeled_qps = max(per-shard walls measured in "
+            "isolation, serially) + measured merge time -- the "
+            "K-way-concurrency counterpart of BENCH_parallel's LPT model, "
+            "built entirely from measured quantities; measured_qps is "
+            "honest wall clock and tracks the model only when the host "
+            "has >= K free cores; all timings are best-of-repeats"
+        ),
+        "equivalence": equivalence,
+        "throughput": throughput,
+        "serve": serve,
+        "allocation": allocation,
+        "gates": gates,
+    }
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+
+    if not equivalence_ok:
+        raise SystemExit("FAIL: sharded answers are not bit-identical")
+    if not allocation["budget_shifted_to_hot"]:
+        raise SystemExit("FAIL: allocator did not shift budget to hot shard")
+    if not smoke and not gates["k4_speedup_ok"]:
+        raise SystemExit(
+            f"FAIL: K={serve_k} {bench_backend} {speedup_basis} speedup "
+            f"{k4_speedup}x < 1.5x"
+        )
+    print("gates pass")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli snapshot save   --index index.ssi --out snap.d
     python -m repro.cli snapshot info   --path snap.d
     python -m repro.cli snapshot verify --path snap.d
-    python -m repro.cli snapshot serve  --path snap.d --set "a b c" --low 0.4 [--workers N --backend process]
+    python -m repro.cli shard build  --input sets.txt --out fleet.d --shards 4 [--partition cluster --tune workload]
+    python -m repro.cli shard info   --path fleet.d
+    python -m repro.cli shard verify --path fleet.d
+    python -m repro.cli stats   --shards fleet.d
     python -m repro.cli serve   --snapshot snap.d [--port 7407 --workers N --backend process --max-batch 64]
+    python -m repro.cli serve   --shards fleet.d [--port 7407 ...]
     python -m repro.cli loadgen --port 7407 --sets-file queries.txt --connections 16 --total 2000
     python -m repro.cli top     --events events.jsonl [--follow] [--window 60]
 
@@ -32,7 +36,7 @@ for its plan tree (or structured JSON with ``--json``).  ``-v``/``-vv``
 raise log verbosity (INFO/DEBUG) on the ``repro`` logger hierarchy.
 
 ``snapshot save`` writes a zero-copy mmap snapshot directory
-(:mod:`repro.exec.snapfile`) that ``snapshot serve`` / ``query
+(:mod:`repro.exec.snapfile`) that ``serve`` / ``query
 --snapshot DIR`` open in O(ms) -- no pickle deserialization pass.
 ``--backend process`` serves the batch from worker *processes* that
 each map the same snapshot (spawn start method, genuine multi-core);
@@ -45,8 +49,12 @@ clients, micro-batched ``query_batch`` dispatch under a tunable
 window, admission control with typed ``overloaded`` responses, and a
 graceful drain on SIGTERM.  ``loadgen`` is its closed-loop benchmark
 client (QPS + latency percentiles + observed batch sizes).  The
-one-shot ``snapshot serve`` remains for single batches but is
-deprecated in favor of ``serve``.
+one-shot ``snapshot serve`` has been removed; ``serve`` + ``loadgen``
+(or ``query --snapshot``) replace it.  ``shard build`` partitions a
+collection into K independent per-shard snapshots under a checksummed
+manifest (:mod:`repro.exec.shard`); ``serve --shards`` / ``query``
+over a shard directory answer by scatter-gather, bit-identically to
+the unsharded index under the default mirror tuning.
 
 Telemetry: ``query`` accepts ``--prom-out`` (Prometheus text
 exposition of the full metrics registry), ``--events-out`` (the
@@ -290,7 +298,20 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """``stats``: describe a saved index's plan, parameters and tables."""
+    """``stats``: describe a saved index's plan, parameters and tables.
+
+    With ``--shards DIR`` it instead describes a shard manifest:
+    per-shard occupancy and the budget-allocation matrix (which
+    filters got how many tables in each shard).
+    """
+    if getattr(args, "shards", None):
+        if args.index:
+            print("error: pass --index or --shards, not both", file=sys.stderr)
+            return 2
+        return _shard_stats(args.shards)
+    if not args.index:
+        print("error: one of --index or --shards is required", file=sys.stderr)
+        return 2
     index = SetSimilarityIndex.load(args.index)
     plan = index.plan
     print(f"sets indexed:      {index.n_sets}")
@@ -320,6 +341,56 @@ def cmd_stats(args: argparse.Namespace) -> int:
         + ("" if pager.cache_pages else " (disabled)")
     )
     _print_histogram_tables()
+    return 0
+
+
+def _shard_stats(path: str) -> int:
+    """Per-shard occupancy and budget-allocation tables for ``stats``."""
+    from repro.exec.shard import open_sharded
+    from repro.exec.snapfile import MANIFEST_FILE
+
+    sharded = open_sharded(path)
+    m = sharded.manifest
+    print(f"sharded index:     {path}")
+    print(f"sets:              {m['n_sets']} over {m['n_shards']} shards "
+          f"({len(sharded.live_shards)} live)")
+    print(f"partition:         {m['partition']['method']} "
+          f"(seed {m['partition']['seed']}); tuning: {m['tune']}")
+    gp = m["global_plan"]
+    print(f"global budget:     {m['build']['budget']} tables "
+          f"({gp['tables_used']} used by the global plan, "
+          f"expected recall {gp['expected_recall']:.3f})")
+    print("per-shard occupancy:")
+    header = (
+        f"  {'shard':<12}{'sets':>8}{'weight':>9}{'tables':>8}"
+        f"{'recall':>9}{'arrays':>12}"
+    )
+    print(header)
+    for i, entry in enumerate(m["shards"]):
+        if entry.get("empty"):
+            nbytes = 0
+        else:
+            shard_manifest = json.loads(
+                (Path(path) / entry["dir"] / MANIFEST_FILE).read_text()
+            )
+            nbytes = shard_manifest["arrays_bytes"]
+        print(
+            f"  {entry['dir']:<12}{entry['n_sets']:>8}"
+            f"{entry['weight']:>9.3f}{entry['tables']:>8}"
+            f"{entry['expected_recall']:>9.3f}{nbytes:>12,}"
+            + ("  (empty)" if entry.get("empty") else "")
+        )
+    print("budget allocation (tables per filter x shard):")
+    filters = m["shards"][0]["filters"]
+    labels = [f"{f['kind'].upper()}@{f['point']:.3f}" for f in filters]
+    print("  " + f"{'filter':<14}" + "".join(
+        f"{entry['dir'][-3:]:>8}" for entry in m["shards"]
+    ))
+    for row, label in enumerate(labels):
+        print("  " + f"{label:<14}" + "".join(
+            f"{entry['filters'][row]['n_tables']:>8}"
+            for entry in m["shards"]
+        ))
     return 0
 
 
@@ -362,13 +433,13 @@ def _print_histogram_tables() -> None:
 
 
 def cmd_snapshot(args: argparse.Namespace) -> int:
-    """``snapshot``: save/inspect/verify/serve zero-copy snapshots.
+    """``snapshot``: save/inspect/verify zero-copy snapshots.
 
     ``save`` freezes a pickle-loaded index into a mapped-array
     directory; ``info`` prints the manifest summary (O(ms) open);
-    ``verify`` checksums every array; ``serve`` answers a query batch
-    straight from the mapped snapshot -- the cold-start path that never
-    pays a pickle deserialization.
+    ``verify`` checksums every array.  The one-shot ``serve``
+    subcommand is gone -- ``repro serve`` owns the service codec -- and
+    now only prints a pointer at the replacement.
     """
     if args.snapshot_command == "save":
         index = SetSimilarityIndex.load(args.index)
@@ -419,50 +490,100 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             f"{summary['filters']} filters -- all checksums pass"
         )
         return 0
-    # serve (one-shot; deprecated in favor of the always-on `repro serve`)
+    # serve: removed in favor of the always-on `repro serve`.  The
+    # subcommand still parses (so old invocations reach this message
+    # instead of an argparse usage dump) but always errors.
     print(
-        "# deprecated: 'snapshot serve' answers one batch and exits; "
-        "use 'repro serve --snapshot DIR' for the always-on coalescing "
-        "query service (and 'repro loadgen' to drive it)",
+        "error: 'snapshot serve' has been removed. Use "
+        "'repro serve --snapshot DIR' for the always-on coalescing query "
+        "service and 'repro loadgen' to drive it; 'repro query "
+        "--snapshot DIR' answers a one-shot batch from a mapped snapshot.",
         file=sys.stderr,
     )
-    from repro.serve import protocol
+    return 2
 
-    query_sets = [frozenset(s.split()) for s in (args.set or [])]
-    if args.sets_file:
-        query_sets.extend(read_sets(Path(args.sets_file)))
-    if not query_sets:
-        print("error: no query sets given (use --set and/or --sets-file)",
-              file=sys.stderr)
-        return 2
-    # Route the parameters through the service codec so the one-shot
-    # path validates (and fails) exactly like the live server.
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """``shard``: build/inspect/verify sharded scatter-gather indexes.
+
+    ``build`` partitions a set file into K shards and persists each as
+    its own mmap snapshot under a checksummed shard manifest; ``info``
+    prints the manifest summary; ``verify`` checksums every array of
+    every shard.  Serve the result with ``repro serve --snapshot DIR``
+    (sharded directories are auto-detected).
+    """
+    if args.shard_command == "build":
+        from repro.exec.shard import build_sharded
+
+        sets = read_sets(Path(args.input))
+        workload = read_sets(Path(args.workload)) if args.workload else None
+        manifest = build_sharded(
+            sets, args.out,
+            n_shards=args.shards,
+            partition=args.partition,
+            tune=args.tune,
+            budget=args.budget,
+            recall_target=args.recall,
+            k=args.k, b=args.bits, seed=args.seed,
+            sample_pairs=args.sample_pairs,
+            workload=workload,
+            workload_range=(args.workload_low, args.workload_high),
+            workers=args.workers,
+        )
+        live = sum(1 for e in manifest["shards"] if not e.get("empty"))
+        print(
+            f"sharded index {args.out}: {manifest['n_sets']} sets over "
+            f"{manifest['n_shards']} shards ({live} live), "
+            f"partition={args.partition} tune={args.tune}, built in "
+            f"{manifest['build_seconds']:.2f}s"
+        )
+        for entry in manifest["shards"]:
+            print(
+                f"  {entry['dir']}: {entry['n_sets']} sets, "
+                f"{entry['tables']} tables, weight {entry['weight']:.3f}, "
+                f"expected recall {entry['expected_recall']:.3f}"
+                + (" (empty)" if entry.get("empty") else "")
+            )
+        return 0
+    if args.shard_command == "info":
+        from repro.exec.shard import open_sharded
+
+        t0 = time.perf_counter()
+        sharded = open_sharded(args.path)
+        open_ms = (time.perf_counter() - t0) * 1e3
+        m = sharded.manifest
+        print(f"sharded index:     {args.path} (opened in {open_ms:.1f} ms)")
+        print(f"format:            {m['format']} v{m['version']}")
+        print(f"sets:              {m['n_sets']} over {m['n_shards']} shards "
+              f"({len(sharded.live_shards)} live)")
+        print(f"partition:         {m['partition']['method']} "
+              f"(seed {m['partition']['seed']})")
+        print(f"tuning:            {m['tune']}")
+        gp = m["global_plan"]
+        print(f"global plan:       {gp['tables_used']} tables, "
+              f"expected recall {gp['expected_recall']:.3f}, "
+              f"cuts {[round(c, 3) for c in gp['cut_points']]}")
+        for entry in m["shards"]:
+            print(
+                f"  {entry['dir']}: {entry['n_sets']} sets, "
+                f"{entry['tables']} tables, weight {entry['weight']:.3f}"
+                + (" (empty)" if entry.get("empty") else "")
+            )
+        return 0
+    # verify
+    from repro.exec.shard import ShardError, verify_sharded
+    from repro.exec.snapfile import SnapshotError
+
     try:
-        requests = [
-            protocol.decode_request(
-                protocol.encode_request(i, qs, args.low, args.high, args.strategy)
-            )
-            for i, qs in enumerate(query_sets)
-        ]
-    except protocol.ProtocolError as exc:
-        print(f"error [{exc.etype}]: {exc}", file=sys.stderr)
-        return 2
-    batch = _snapshot_batch(
-        args.path, [r.elements for r in requests], args, explain=False
+        summary = verify_sharded(args.path)
+    except (ShardError, SnapshotError) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {summary['live_shards']}/{summary['n_shards']} live shards, "
+        f"{summary['n_sets']} sets, {summary['n_arrays']} arrays "
+        f"({summary['arrays_bytes']:,} bytes) -- all checksums pass"
     )
-    if getattr(args, "json_lines", False):
-        for request, result in zip(requests, batch.results):
-            answer = protocol.QueryAnswer(
-                answers=result.answers,
-                n_candidates=result.n_candidates,
-                batch_size=batch.n_queries,
-            )
-            sys.stdout.buffer.write(
-                protocol.encode_line(protocol.response_ok(request.id, answer))
-            )
-        sys.stdout.flush()
-    else:
-        _print_batch(batch)
     return 0
 
 
@@ -722,8 +843,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.set_defaults(func=cmd_explain)
 
-    p_stats = sub.add_parser("stats", help="describe a built index")
-    p_stats.add_argument("--index", required=True)
+    p_stats = sub.add_parser(
+        "stats", help="describe a built index or a shard manifest"
+    )
+    p_stats.add_argument("--index", help="a saved index file (pickle format)")
+    p_stats.add_argument(
+        "--shards", metavar="DIR",
+        help="a sharded-index directory: print per-shard occupancy and "
+             "the budget-allocation matrix instead",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_demo = sub.add_parser("demo", help="build and query a synthetic demo index")
@@ -731,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.set_defaults(func=cmd_demo)
 
     p_snap = sub.add_parser(
-        "snapshot", help="zero-copy mmap snapshots: save, inspect, verify, serve"
+        "snapshot", help="zero-copy mmap snapshots: save, inspect, verify"
     )
     snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
 
@@ -754,39 +882,99 @@ def build_parser() -> argparse.ArgumentParser:
     p_snap_verify.add_argument("--path", required=True, help="snapshot directory")
     p_snap_verify.set_defaults(func=cmd_snapshot)
 
+    # Removed subcommand: kept parseable (with its old flags accepted
+    # and ignored) so stale scripts get the pointer at `repro serve`
+    # rather than an argparse usage dump.
     p_snap_serve = snap_sub.add_parser(
-        "serve", help="answer a query batch straight from a mapped snapshot"
+        "serve", help="removed -- use `repro serve` / `repro loadgen`"
     )
-    p_snap_serve.add_argument("--path", required=True, help="snapshot directory")
-    p_snap_serve.add_argument(
-        "--set", action="append",
-        help="query elements, space separated (repeat for a batch)",
-    )
-    p_snap_serve.add_argument(
-        "--sets-file",
-        help="one query set per line; combined with --set into one batch",
-    )
-    p_snap_serve.add_argument("--low", type=float, default=0.5)
-    p_snap_serve.add_argument("--high", type=float, default=1.0)
-    p_snap_serve.add_argument(
-        "--strategy", choices=("index", "scan", "auto"), default="index"
-    )
-    p_snap_serve.add_argument("--workers", type=int, default=1)
-    p_snap_serve.add_argument(
-        "--backend", choices=("thread", "process"), default="thread"
-    )
-    p_snap_serve.add_argument(
-        "--json-lines", action="store_true",
-        help="emit service-codec JSON responses instead of TSV lines",
-    )
+    p_snap_serve.add_argument("--path", help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--set", action="append", help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--sets-file", help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--low", type=float, default=0.5,
+                              help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--high", type=float, default=1.0,
+                              help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--strategy", default="index",
+                              help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--workers", type=int, default=1,
+                              help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--backend", default="thread",
+                              help=argparse.SUPPRESS)
+    p_snap_serve.add_argument("--json-lines", action="store_true",
+                              help=argparse.SUPPRESS)
     p_snap_serve.set_defaults(func=cmd_snapshot)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="sharded scatter-gather indexes: build, inspect, verify",
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+
+    p_shard_build = shard_sub.add_parser(
+        "build", help="partition a set file into K per-shard snapshots"
+    )
+    p_shard_build.add_argument("--input", required=True, help="one set per line")
+    p_shard_build.add_argument(
+        "--out", required=True, help="sharded-index directory to write"
+    )
+    p_shard_build.add_argument(
+        "--shards", type=int, default=4, help="number of shards (K)"
+    )
+    p_shard_build.add_argument(
+        "--partition", choices=("hash", "cluster"), default="hash",
+        help="'cluster' colocates minhash-similar sets (pairs with "
+             "--tune workload)",
+    )
+    p_shard_build.add_argument(
+        "--tune", choices=("mirror", "workload"), default="mirror",
+        help="'mirror' builds every shard from the one global plan "
+             "(bit-identical merged answers); 'workload' re-splits the "
+             "global table budget across shards by workload weight",
+    )
+    p_shard_build.add_argument("--budget", type=int, default=500,
+                               help="global hash-table budget")
+    p_shard_build.add_argument("--recall", type=float, default=0.9)
+    p_shard_build.add_argument("--k", type=int, default=100)
+    p_shard_build.add_argument("--bits", type=int, default=6)
+    p_shard_build.add_argument("--seed", type=int, default=0)
+    p_shard_build.add_argument("--sample-pairs", type=int, default=100_000)
+    p_shard_build.add_argument(
+        "--workload", metavar="FILE",
+        help="query sets (one per line) used to weight shards under "
+             "--tune workload",
+    )
+    p_shard_build.add_argument("--workload-low", type=float, default=0.5)
+    p_shard_build.add_argument("--workload-high", type=float, default=1.0)
+    p_shard_build.add_argument(
+        "--workers", type=int, default=1, help="bulk-build worker threads"
+    )
+    p_shard_build.set_defaults(func=cmd_shard)
+
+    p_shard_info = shard_sub.add_parser(
+        "info", help="print a shard manifest summary"
+    )
+    p_shard_info.add_argument("--path", required=True,
+                              help="sharded-index directory")
+    p_shard_info.set_defaults(func=cmd_shard)
+
+    p_shard_verify = shard_sub.add_parser(
+        "verify", help="checksum every array in every shard"
+    )
+    p_shard_verify.add_argument("--path", required=True,
+                                help="sharded-index directory")
+    p_shard_verify.set_defaults(func=cmd_shard)
 
     p_serve = sub.add_parser(
         "serve",
-        help="always-on coalescing query service over a mapped snapshot",
+        help="always-on coalescing query service over a mapped snapshot "
+             "or shard fleet",
     )
     p_serve.add_argument(
-        "--snapshot", required=True, help="snapshot directory (snapshot save)"
+        "--snapshot", "--shards", dest="snapshot", required=True,
+        help="snapshot directory (snapshot save) or sharded-index "
+             "directory (shard build) -- sharded layouts are "
+             "auto-detected and served scatter-gather",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
@@ -869,7 +1057,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests each connection keeps in flight",
     )
     p_loadgen.add_argument(
-        "--total", type=int, default=None,
+        "--total", "--requests", dest="total", type=int, default=None,
         help="total requests (default: one pass over the query pool)",
     )
     p_loadgen.add_argument(

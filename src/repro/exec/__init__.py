@@ -25,12 +25,31 @@ This package provides the serving-side counterpart:
   aligned raw arrays + a checksummed JSON manifest,
   :func:`~repro.exec.snapfile.open_snapshot` maps it back in O(ms)
   with ``np.memmap`` (a :class:`~repro.exec.snapfile.MappedSnapshot`),
-  the substrate of ``ParallelExecutor(..., backend="process")``.
+  the substrate of ``ParallelExecutor(..., backend="process")``;
+- :mod:`~repro.exec.shard` -- scatter-gather over a K-shard fleet:
+  :func:`~repro.exec.shard.build_sharded` partitions a collection
+  (hash or minhash-clustered), builds each shard with the bulk
+  pipeline under one global plan (or a workload-tuned per-shard
+  allocation of the global table budget) and saves each as its own
+  snapshot under a checksummed shard manifest;
+  :class:`~repro.exec.shard.ShardedExecutor` fans batches out to
+  per-shard ``ParallelExecutor``s and merges deterministically --
+  bit-identical to the unsharded answers on mirror-built manifests.
 """
 
 from repro.exec.build import bulk_load_filters, lpt_makespan
 from repro.exec.columnar import build_csr, hash_set, intersect_counts, jaccard_values
 from repro.exec.parallel import ParallelExecutor
+from repro.exec.shard import (
+    ShardedExecutor,
+    ShardedSnapshot,
+    ShardError,
+    build_sharded,
+    is_sharded,
+    open_sharded,
+    partition_sets,
+    verify_sharded,
+)
 from repro.exec.snapshot import IndexSnapshot
 from repro.exec.snapfile import (
     MappedSnapshot,
@@ -46,16 +65,24 @@ __all__ = [
     "IndexSnapshot",
     "MappedSnapshot",
     "ParallelExecutor",
+    "ShardError",
+    "ShardedExecutor",
+    "ShardedSnapshot",
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotIntegrityError",
+    "build_sharded",
     "bulk_load_filters",
+    "is_sharded",
     "lpt_makespan",
     "build_csr",
     "hash_set",
     "intersect_counts",
     "jaccard_values",
+    "open_sharded",
     "open_snapshot",
+    "partition_sets",
     "save_snapshot",
+    "verify_sharded",
     "verify_snapshot",
 ]

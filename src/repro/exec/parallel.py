@@ -136,11 +136,21 @@ class ParallelExecutor:
         ``"thread"`` (default) or ``"process"`` (``spawn`` start
         method; genuine multi-core execution of the pure-Python probe
         and verify loops).
+    record:
+        When False, skip the per-batch query-level telemetry (the
+        ``query.*`` aggregate counters and the ``record_query`` event).
+        The scatter-gather :class:`~repro.exec.shard.ShardedExecutor`
+        sets this on its per-shard executors and emits one merged
+        record itself, so a sharded batch counts each query once, not
+        once per shard.  Work-level counters (probe pages, hashtable
+        and ``exec.parallel_*`` counters) always record -- they meter
+        real work, which sharding genuinely multiplies.
 
     Usable as a context manager; :meth:`close` shuts the pool down.
     """
 
-    def __init__(self, snapshot, workers: int = 1, backend: str = "thread"):
+    def __init__(self, snapshot, workers: int = 1, backend: str = "thread",
+                 record: bool = True):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if backend not in ("thread", "process"):
@@ -171,6 +181,7 @@ class ParallelExecutor:
         self.snapshot = snapshot
         self.workers = workers
         self.backend = backend
+        self.record = record
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -326,32 +337,33 @@ class ParallelExecutor:
             }
             if root is not None:
                 self._annotate(root, batch)
-        events.record_query(
-            "query_batch",
-            latency_ms=(time.perf_counter() - wall0) * 1e3,
-            sim_time=batch.total_time,
-            n_queries=n,
-            n_candidates=batch.n_candidates,
-            n_verified=batch.n_verified,
-            pages_read=delta.random_reads + delta.sequential_reads,
-            cache_hits=_CACHE_HITS.value - hits_before,
-            backend=self.backend,
-            workers=self.workers,
-            strategy=strategy,
-            sigma_low=sigma_low,
-            sigma_high=sigma_high,
-            timings=batch.timings,
-        )
-        _QUERY_BATCHES.inc()
+        if self.record:
+            events.record_query(
+                "query_batch",
+                latency_ms=(time.perf_counter() - wall0) * 1e3,
+                sim_time=batch.total_time,
+                n_queries=n,
+                n_candidates=batch.n_candidates,
+                n_verified=batch.n_verified,
+                pages_read=delta.random_reads + delta.sequential_reads,
+                cache_hits=_CACHE_HITS.value - hits_before,
+                backend=self.backend,
+                workers=self.workers,
+                strategy=strategy,
+                sigma_low=sigma_low,
+                sigma_high=sigma_high,
+                timings=batch.timings,
+            )
+            _QUERY_BATCHES.inc()
+            _BATCH_SIZE.observe(n)
+            _BATCH_FETCHES_SAVED.inc(fetches_saved)
+            _QUERIES.inc(n)
+            _QUERY_CANDIDATES.inc(batch.n_candidates)
+            _QUERY_VERIFIED.inc(batch.n_verified)
+            _QUERY_FALSE_POSITIVES.inc(batch.n_candidates - batch.n_verified)
+            for result in batch.results:
+                _CANDIDATES_PER_QUERY.observe(result.n_candidates)
         _PARALLEL_BATCHES.inc()
-        _BATCH_SIZE.observe(n)
-        _BATCH_FETCHES_SAVED.inc(fetches_saved)
-        _QUERIES.inc(n)
-        _QUERY_CANDIDATES.inc(batch.n_candidates)
-        _QUERY_VERIFIED.inc(batch.n_verified)
-        _QUERY_FALSE_POSITIVES.inc(batch.n_candidates - batch.n_verified)
-        for result in batch.results:
-            _CANDIDATES_PER_QUERY.observe(result.n_candidates)
         return batch
 
     def query_above_batch(

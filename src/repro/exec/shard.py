@@ -1,0 +1,827 @@
+"""Sharded scatter-gather execution over independent mmap snapshots.
+
+One snapshot per process caps throughput at a single index's
+probe/verify path and one global hash-table budget.  This module
+splits a collection into ``K`` shards, builds each with the bulk
+pipeline, persists each as its own :mod:`~repro.exec.snapfile`
+snapshot under a checksummed *shard manifest*, and serves queries by
+scatter-gather: every shard answers the batch with its own
+:class:`~repro.exec.parallel.ParallelExecutor` (thread or process
+backend -- one worker pool per shard), and the parent merges verified
+answers, per-phase timings, IOStats and telemetry deltas.
+
+Two tuning modes, chosen at build time:
+
+* ``tune="mirror"`` (default) -- every shard materializes the **same**
+  global plan with the same build seed.  A set's membership in a
+  bucket is ``hash_key(sampled query bits) == hash_key(sampled set
+  bits)``, which depends only on the plan's samplers (seeded
+  ``seed + 7919 * (offset + 1)`` per filter) and never on bucket
+  counts or which shard holds the set.  The union of per-shard
+  candidates is therefore *exactly* the unsharded candidate set --
+  including fingerprint-collision false positives -- and with exact
+  verification on top, a merged scatter-gather batch is bit-identical
+  (similarities, candidates, ordering) to the equivalent single-index
+  ``query_batch`` at any K, worker count and backend.
+
+* ``tune="workload"`` -- the Lemma 6 greedy allocator lifted to a
+  *global* budget (:func:`repro.core.optimizer.allocate_global_budget`):
+  each shard's own pair-similarity distribution plus a workload weight
+  (estimated answer mass routed to it) compete for tables, so hot
+  shards get more of the budget.  Per-shard table counts then differ,
+  which deliberately trades the bit-equivalence guarantee for recall
+  where the workload needs it (answers remain exact-verified; only the
+  candidate funnel is tuned per shard).
+
+Partitioning is hash-based by default (a stable content fingerprint,
+independent of input order and ``PYTHONHASHSEED``), with
+``method="cluster"`` colocating minhash-similar sets -- the layout
+that makes workload weights skewed and the global allocator useful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.index import BatchQueryResult, QueryResult
+from repro.core.minhash import MinHasher, stable_element_hash
+from repro.obs import events, metrics, trace
+from repro.storage.iomodel import IOStats
+
+SHARD_MANIFEST_FILE = "shard_manifest.json"
+SIDMAP_FILE = "sidmap.bin"
+FORMAT_NAME = "repro-ssi-shards"
+FORMAT_VERSION = 1
+
+#: splitmix64 increment, used to fold the partition seed into set
+#: fingerprints so different seeds give different (but each stable)
+#: partitions.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+_SHARD_BATCHES = metrics.counter("exec.shard_batches")
+
+
+class ShardError(RuntimeError):
+    """Sharded-manifest problem: format, integrity or usage."""
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: avalanche a 64-bit value."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def set_fingerprint(elements, seed: int = 0) -> int:
+    """Stable 64-bit content fingerprint of a set.
+
+    XOR of per-element stable hashes (order-independent), avalanched
+    with the seed folded in.  Reproducible across processes and input
+    permutations -- the property hash partitioning stands on.
+    """
+    acc = 0
+    for element in elements:
+        acc ^= stable_element_hash(element)
+    return _mix64(acc ^ ((seed * _GOLDEN) & _MASK))
+
+
+def partition_sets(
+    sets, n_shards: int, method: str = "hash", seed: int = 0
+) -> np.ndarray:
+    """Assign every set to exactly one shard; returns shape-(N,) int64.
+
+    ``method="hash"``: content-fingerprint modulo ``n_shards`` --
+    stable under input permutation and across rebuilds.
+    ``method="cluster"``: order sets by their minhash signature
+    (fixed-seed) and cut the order into ``n_shards`` near-equal
+    contiguous chunks, so minhash-similar sets land together --
+    deterministic for a given input list, and the layout that lets
+    workload-aware tuning concentrate budget on hot shards.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
+    n = len(sets)
+    if method == "hash":
+        return np.array(
+            [set_fingerprint(s, seed) % n_shards for s in sets],
+            dtype=np.int64,
+        ).reshape(n)
+    if method != "cluster":
+        raise ValueError(f"unknown partition method: {method!r}")
+    assignment = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return assignment
+    hasher = MinHasher(k=8, seed=seed)
+    keys = np.zeros((n, hasher.k), dtype=np.uint64)
+    nonempty = [i for i, s in enumerate(sets) if s]
+    if nonempty:
+        keys[nonempty] = hasher.signature_matrix([sets[i] for i in nonempty])
+    # Lexicographic sort by signature; ties (identical signatures,
+    # e.g. every empty set) stay in input order, keeping the result
+    # deterministic for a given input list.
+    order = np.lexsort(keys.T[::-1])
+    bounds = [n * p // n_shards for p in range(n_shards + 1)]
+    for shard, (a, b) in enumerate(zip(bounds, bounds[1:])):
+        assignment[order[a:b]] = shard
+    return assignment
+
+
+def estimate_workload_weights(
+    sets,
+    assignment: np.ndarray,
+    n_shards: int,
+    workload,
+    sigma_low: float,
+    sigma_high: float,
+    k: int = 32,
+    b: int = 6,
+    seed: int = 0,
+) -> list[float]:
+    """Per-shard answer-mass estimate for a query workload.
+
+    Embeds the collection and the workload's query sets once (the same
+    minhash+ECC embedding the index uses), estimates every
+    (query, set) Jaccard similarity from Hamming distance, and counts,
+    per shard, the pairs estimated to fall in ``[sigma_low,
+    sigma_high]`` -- the answer mass the workload routes to that
+    shard.  Laplace-smoothed so no shard weighs zero (every shard
+    still needs a sane floor of tables for the queries that do reach
+    it).
+    """
+    from repro.core.embedding import SetEmbedder
+    from repro.hamming.distance import hamming_distance_many
+
+    sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
+    queries = [frozenset(q) for q in workload]
+    counts = np.ones(n_shards, dtype=np.float64)  # +1 smoothing
+    live = [i for i, s in enumerate(sets) if s]
+    live_queries = [q for q in queries if q]
+    if live and live_queries:
+        embedder = SetEmbedder(k=k, b=b, seed=seed)
+        matrix = embedder.embed_many([sets[i] for i in live])
+        n_bits = embedder.dimension
+        collide = 2.0 ** (-b)
+        shard_of = np.asarray(assignment, dtype=np.int64)[live]
+        for q in live_queries:
+            qvec = embedder.embed(q)
+            s_h = 1.0 - hamming_distance_many(matrix, qvec) / n_bits
+            # hamming_to_jaccard, vectorized over the collection.
+            sims = np.clip((2.0 * s_h - 1.0 - collide) / (1.0 - collide), 0.0, 1.0)
+            hit = (sims >= sigma_low) & (sims <= sigma_high)
+            np.add.at(counts, shard_of[hit], 1.0)
+    total = float(counts.sum())
+    return [float(c) / total for c in counts]
+
+
+# -- build -----------------------------------------------------------------
+
+
+def build_sharded(
+    sets,
+    out,
+    n_shards: int,
+    partition: str = "hash",
+    tune: str = "mirror",
+    budget: int = 500,
+    recall_target: float = 0.9,
+    k: int = 100,
+    b: int = 6,
+    seed: int = 0,
+    sample_pairs: int | None = None,
+    workload=None,
+    workload_range: tuple[float, float] = (0.5, 1.0),
+    workers: int = 1,
+    plan=None,
+    dist=None,
+) -> dict:
+    """Partition, build and persist a K-shard index under ``out``.
+
+    One global distribution estimate and one global plan (reused via
+    ``plan=``/``dist=`` when the caller already built the unsharded
+    index from the same parameters -- the plan is deterministic, so
+    passing it only skips recomputation).  Every shard is built through
+    the bulk pipeline from that plan -- identical cut points and build
+    seed, hence identical samplers, in every shard (``tune="mirror"``)
+    -- or from a per-shard re-allocated copy under the global greedy
+    (``tune="workload"``, optionally weighted by a ``workload`` list of
+    query sets over ``workload_range``).  Returns the written manifest.
+    """
+    from repro.core.distribution import SimilarityDistribution
+    from repro.core.index import SetSimilarityIndex
+    from repro.core.optimizer import (
+        IndexPlan,
+        PlannedFilter,
+        allocate_global_budget,
+        average_recall,
+        evaluate_ranges,
+        plan_index,
+    )
+    from repro.exec.snapfile import MANIFEST_FILE, save_snapshot, write_arrays
+
+    if tune not in ("mirror", "workload"):
+        raise ValueError(f"unknown tune mode: {tune!r}")
+    sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
+    out = Path(out)
+    out.mkdir(parents=True, exist_ok=True)
+    t0 = time.perf_counter()
+    if dist is None:
+        dist = SimilarityDistribution.from_sets(
+            sets, sample_pairs=sample_pairs, seed=seed
+        )
+    if plan is None:
+        plan = plan_index(dist, budget, recall_target=recall_target, b=b)
+    assignment = partition_sets(sets, n_shards, method=partition, seed=seed)
+    shard_sets: list[list[frozenset]] = [[] for _ in range(n_shards)]
+    shard_gsids: list[list[int]] = [[] for _ in range(n_shards)]
+    for gsid, (s, a) in enumerate(zip(sets, assignment)):
+        shard_sets[int(a)].append(s)
+        shard_gsids[int(a)].append(gsid)
+
+    if tune == "workload":
+        shard_dists = [
+            SimilarityDistribution.from_sets(
+                ss, sample_pairs=sample_pairs, seed=seed
+            ) if len(ss) > 1 else dist
+            for ss in shard_sets
+        ]
+        if workload:
+            weights = estimate_workload_weights(
+                sets, assignment, n_shards, workload, *workload_range,
+                k=min(k, 32), b=b, seed=seed,
+            )
+        else:
+            n_total = max(1, len(sets))
+            weights = [max(1, len(ss)) / n_total for ss in shard_sets]
+        shard_filters = [
+            [PlannedFilter(f.point, f.kind) for f in plan.filters]
+            for _ in range(n_shards)
+        ]
+        allocate_global_budget(
+            shard_filters, budget, shard_dists, weights, b=b
+        )
+        plans = []
+        for filters, sdist in zip(shard_filters, shard_dists):
+            stats = evaluate_ranges(plan.cut_points, filters, sdist, b)
+            recall = average_recall(stats)
+            plans.append(IndexPlan(
+                cut_points=list(plan.cut_points),
+                delta=plan.delta,
+                filters=filters,
+                expected_recall=recall,
+                expected_precision=plan.expected_precision,
+                b=plan.b,
+                met_target=recall >= recall_target,
+            ))
+    else:
+        weights = [
+            len(ss) / max(1, len(sets)) for ss in shard_sets
+        ]
+        plans = [plan] * n_shards
+        shard_dists = [dist] * n_shards
+
+    shard_entries: list[dict] = []
+    for i in range(n_shards):
+        entry: dict = {
+            "dir": f"shard-{i:03d}",
+            "n_sets": len(shard_sets[i]),
+            "weight": round(float(weights[i]), 6),
+            "tables": plans[i].tables_used,
+            "expected_recall": round(plans[i].expected_recall, 6),
+            "filters": [
+                {"point": f.point, "kind": f.kind, "n_tables": f.n_tables}
+                for f in plans[i].filters
+            ],
+        }
+        if not shard_sets[i]:
+            # An empty shard contributes nothing to any query; there is
+            # no snapshot to build and scatter-gather skips it.
+            entry["empty"] = True
+            shard_entries.append(entry)
+            continue
+        index = SetSimilarityIndex.from_plan(
+            shard_sets[i], plans[i], shard_dists[i],
+            k=k, b=b, seed=seed, workers=workers,
+        )
+        shard_dir = out / entry["dir"]
+        save_snapshot(index.freeze(), shard_dir)
+        entry["manifest_crc32"] = zlib.crc32(
+            (shard_dir / MANIFEST_FILE).read_bytes()
+        )
+        shard_entries.append(entry)
+
+    sidmap_specs = write_arrays(out / SIDMAP_FILE, {
+        f"shard{i:03d}_sids": np.asarray(shard_gsids[i], dtype=np.int64)
+        for i in range(n_shards)
+    })
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "n_shards": n_shards,
+        "n_sets": len(sets),
+        "partition": {"method": partition, "seed": seed},
+        "tune": tune,
+        "build": {
+            "budget": budget, "recall_target": recall_target,
+            "k": k, "b": b, "seed": seed, "sample_pairs": sample_pairs,
+        },
+        "global_plan": {
+            "cut_points": list(plan.cut_points),
+            "delta": plan.delta,
+            "tables_used": plan.tables_used,
+            "expected_recall": round(plan.expected_recall, 6),
+        },
+        "sidmap": sidmap_specs,
+        "shards": shard_entries,
+        "build_seconds": round(time.perf_counter() - t0, 3),
+    }
+    # Manifest written last, atomically: a crashed build never leaves
+    # an openable half-sharded directory (snapfile discipline).
+    payload = json.dumps(manifest, indent=2).encode()
+    fd, tmp_path = tempfile.mkstemp(dir=out, prefix=".shard_manifest-")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, out / SHARD_MANIFEST_FILE)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return manifest
+
+
+# -- open / verify ---------------------------------------------------------
+
+
+def is_sharded(path) -> bool:
+    """Whether ``path`` is a sharded-index directory (shard manifest)."""
+    try:
+        return (Path(path) / SHARD_MANIFEST_FILE).is_file()
+    except OSError:
+        return False
+
+
+class ShardedSnapshot:
+    """An opened K-shard directory: per-shard mapped snapshots plus the
+    local-sid -> global-sid maps.  ``shards[i]`` is None for an empty
+    shard."""
+
+    def __init__(self, path, manifest: dict, shards: list,
+                 global_sids: list[np.ndarray]):
+        self.path = Path(path)
+        self.manifest = manifest
+        self.shards = shards
+        self.global_sids = global_sids
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.manifest["n_shards"])
+
+    @property
+    def n_sets(self) -> int:
+        return int(self.manifest["n_sets"])
+
+    @property
+    def live_shards(self) -> list[int]:
+        """Indices of the non-empty shards (the ones that get probed)."""
+        return [i for i, s in enumerate(self.shards) if s is not None]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSnapshot(path={str(self.path)!r}, "
+            f"n_shards={self.n_shards}, n_sets={self.n_sets})"
+        )
+
+
+def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
+    """Open a sharded directory written by :func:`build_sharded`.
+
+    Always checks the format header, each shard's recorded snapshot
+    -manifest crc32, and the sid-map structure (every global sid in
+    exactly one shard); ``verify=True`` additionally checksums every
+    mapped array of every shard (reads all bytes).
+    """
+    from repro.exec.snapfile import (
+        MANIFEST_FILE,
+        SnapshotError,
+        open_arrays,
+        open_snapshot,
+    )
+
+    path = Path(path)
+    manifest_path = path / SHARD_MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise ShardError(f"{path} has no {SHARD_MANIFEST_FILE}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ShardError(f"unreadable shard manifest at {path}: {exc}") from exc
+    if manifest.get("format") != FORMAT_NAME:
+        raise ShardError(
+            f"{path} is not a sharded index "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ShardError(
+            f"unsupported shard-manifest version {manifest.get('version')!r}"
+        )
+    n_shards = int(manifest["n_shards"])
+    entries = manifest["shards"]
+    if len(entries) != n_shards:
+        raise ShardError(
+            f"manifest names {len(entries)} shards but n_shards={n_shards}"
+        )
+    sidmap = open_arrays(path / SIDMAP_FILE, manifest["sidmap"], verify=verify)
+    shards: list = []
+    global_sids: list[np.ndarray] = []
+    for i, entry in enumerate(entries):
+        gsids = sidmap.get(f"shard{i:03d}_sids")
+        if gsids is None:
+            raise ShardError(f"sid map missing shard {i}")
+        global_sids.append(np.asarray(gsids, dtype=np.int64))
+        if entry.get("empty"):
+            if len(gsids) != 0:
+                raise ShardError(
+                    f"shard {i} marked empty but maps {len(gsids)} sids"
+                )
+            shards.append(None)
+            continue
+        shard_dir = path / entry["dir"]
+        try:
+            crc = zlib.crc32((shard_dir / MANIFEST_FILE).read_bytes())
+        except OSError as exc:
+            raise ShardError(f"shard {i}: {exc}") from exc
+        if crc != entry.get("manifest_crc32"):
+            raise ShardError(
+                f"shard {i} manifest checksum mismatch: {shard_dir} does "
+                "not match the shard manifest (corrupt or replaced)"
+            )
+        try:
+            snap = open_snapshot(shard_dir, verify=verify)
+        except SnapshotError as exc:
+            raise ShardError(f"shard {i}: {exc}") from exc
+        if snap.n_sets != len(gsids):
+            raise ShardError(
+                f"shard {i} holds {snap.n_sets} sets but maps "
+                f"{len(gsids)} global sids"
+            )
+        shards.append(snap)
+    merged = (
+        np.concatenate([g for g in global_sids if len(g)])
+        if any(len(g) for g in global_sids) else np.empty(0, dtype=np.int64)
+    )
+    if len(merged) != manifest["n_sets"] or (
+        len(merged) and (
+            np.unique(merged).size != len(merged)
+            or int(merged.min()) != 0
+            or int(merged.max()) != len(merged) - 1
+        )
+    ):
+        raise ShardError(
+            "sid map is not a partition of the collection: "
+            f"{len(merged)} mapped sids for {manifest['n_sets']} sets"
+        )
+    return ShardedSnapshot(path, manifest, shards, global_sids)
+
+
+def verify_sharded(path) -> dict:
+    """Full integrity pass: shard-manifest checks plus a crc32 of every
+    array in every shard snapshot.  Returns a summary dict; raises
+    :class:`ShardError` / snapshot errors on any mismatch."""
+    from repro.exec.snapfile import verify_snapshot
+
+    sharded = open_sharded(path, verify=True)
+    arrays = 0
+    array_bytes = 0
+    for i in sharded.live_shards:
+        summary = verify_snapshot(sharded.path / sharded.manifest["shards"][i]["dir"])
+        arrays += summary["n_arrays"]
+        array_bytes += summary["arrays_bytes"]
+    return {
+        "n_shards": sharded.n_shards,
+        "n_sets": sharded.n_sets,
+        "live_shards": len(sharded.live_shards),
+        "n_arrays": arrays,
+        "arrays_bytes": array_bytes,
+        "tune": sharded.manifest["tune"],
+    }
+
+
+# -- scatter-gather execution ----------------------------------------------
+
+
+class ShardedExecutor:
+    """Scatter-gather ``query``/``query_batch`` over a fleet of shards.
+
+    One :class:`~repro.exec.parallel.ParallelExecutor` per live shard
+    (its own ``workers``-wide thread or process pool), scattered from a
+    small thread pool and merged deterministically:
+
+    - per-query answers are mapped local->global sid and re-sorted
+      best-first (sid ties ascending) -- exactly the order
+      ``in_range_answers`` gives every unsharded verification path;
+    - candidates are the union of mapped per-shard candidates;
+    - IOStats, ``pages_saved``/``fetches_saved`` and per-phase timings
+      are integer/float sums over shards (order-independent);
+    - per-shard executors run with ``record=False`` and this class
+      emits one merged ``record_query`` + ``query.*`` update, so a
+      sharded batch counts every query once.
+
+    On a mirror-built manifest the merged batch is bit-identical to
+    the unsharded ``query_batch`` (see the module docstring); on a
+    workload-tuned manifest answers remain exact-verified but the
+    candidate funnel is per-shard.
+
+    Telemetry lands under ``metric_prefix`` (default ``"shard"``; the
+    query server uses ``"serve.shard"``): per-shard batch-latency HDRs
+    and candidate counters, a routed-subqueries counter, and a skew
+    gauge (slowest/mean shard wall per batch).
+    """
+
+    def __init__(self, sharded: ShardedSnapshot, workers: int = 1,
+                 backend: str = "thread", metric_prefix: str = "shard"):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.exec.parallel import ParallelExecutor
+
+        self.sharded = sharded
+        self.workers = workers
+        self.backend = backend
+        self.metric_prefix = metric_prefix
+        self._live = sharded.live_shards
+        self._executors = {
+            i: ParallelExecutor(
+                sharded.shards[i], workers=workers, backend=backend,
+                record=False,
+            )
+            for i in self._live
+        }
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self._live)),
+            thread_name_prefix="repro-shard",
+        )
+        self._m_batches = metrics.counter(f"{metric_prefix}.batches")
+        self._m_routed = metrics.counter(f"{metric_prefix}.routed_subqueries")
+        self._m_skew = metrics.gauge(f"{metric_prefix}.wall_skew")
+        self._m_latency = {
+            i: metrics.hdr(f"{metric_prefix}.{i:02d}.batch_ms")
+            for i in self._live
+        }
+        self._m_candidates = {
+            i: metrics.counter(f"{metric_prefix}.{i:02d}.candidates")
+            for i in self._live
+        }
+
+    def close(self) -> None:
+        for executor in self._executors.values():
+            executor.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- public API --------------------------------------------------------
+
+    def query_batch(self, queries, sigma_low: float, sigma_high: float,
+                    strategy: str = "index",
+                    explain: bool = False) -> BatchQueryResult:
+        """Scatter one batch to every live shard and merge.
+
+        Parameters and result semantics match
+        :meth:`~repro.exec.parallel.ParallelExecutor.query_batch`;
+        ``strategy="auto"`` is resolved per shard (each shard weighs
+        its own scan cost).
+        """
+        if not 0.0 <= sigma_low <= sigma_high <= 1.0:
+            raise ValueError(
+                f"invalid similarity range [{sigma_low}, {sigma_high}]"
+            )
+        if strategy not in ("index", "scan", "auto"):
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        query_sets = [frozenset(q) for q in queries]
+        n = len(query_sets)
+        wall0 = time.perf_counter()
+        with trace.capture(
+            "sharded_query_batch",
+            force=explain,
+            n_shards=self.sharded.n_shards,
+            live_shards=len(self._live),
+            workers=self.workers,
+            backend=self.backend,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            n_queries=n,
+        ) as root:
+            shard_batches = self._scatter(
+                query_sets, sigma_low, sigma_high, strategy, explain
+            )
+            merge0 = time.perf_counter()
+            batch = self._merge(shard_batches, n)
+            merge_seconds = time.perf_counter() - merge0
+            batch.trace = root
+            batch.exec_stats = self._exec_stats(
+                shard_batches, strategy, wall0, merge_seconds
+            )
+            if root is not None:
+                for i, (sbatch, _) in shard_batches.items():
+                    if sbatch.trace is not None:
+                        sbatch.trace.set(shard=i)
+                        root.children.append(sbatch.trace)
+                root.set(
+                    n_candidates=batch.n_candidates,
+                    n_verified=batch.n_verified,
+                    pages_saved=batch.pages_saved,
+                    fetches_saved=batch.fetches_saved,
+                    merge_ms=round(merge_seconds * 1e3, 3),
+                )
+        self._record(batch, shard_batches, n, wall0,
+                     sigma_low, sigma_high, strategy)
+        return batch
+
+    def query(self, query, sigma_low: float, sigma_high: float,
+              strategy: str = "index", explain: bool = False) -> QueryResult:
+        """Single-query convenience over :meth:`query_batch`."""
+        batch = self.query_batch(
+            [query], sigma_low, sigma_high, strategy=strategy, explain=explain
+        )
+        result = batch.results[0]
+        return QueryResult(
+            answers=result.answers,
+            candidates=result.candidates,
+            io=batch.io,
+            io_time=batch.io_time,
+            cpu_time=batch.cpu_time,
+            trace=batch.trace,
+            timings=batch.timings,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _scatter(self, query_sets, sigma_low, sigma_high, strategy, explain):
+        """Fan the batch out; returns {shard index: (batch, seconds)}."""
+
+        def run(i: int):
+            t0 = time.perf_counter()
+            sbatch = self._executors[i].query_batch(
+                query_sets, sigma_low, sigma_high,
+                strategy=strategy, explain=explain,
+            )
+            return sbatch, time.perf_counter() - t0
+
+        futures = {
+            i: self._pool.submit(run, i) for i in self._live
+        }
+        return {i: future.result() for i, future in futures.items()}
+
+    def _merge(self, shard_batches, n: int) -> BatchQueryResult:
+        """Deterministic merge; see the class docstring for semantics."""
+        merged_answers: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        merged_cands: list[set[int]] = [set() for _ in range(n)]
+        io = IOStats()
+        pages_saved = 0
+        fetches_saved = 0
+        timings: dict[str, float] = {}
+        for i, (sbatch, _) in sorted(shard_batches.items()):
+            gsids = self.sharded.global_sids[i]
+            for q, result in enumerate(sbatch.results):
+                if result.answers:
+                    merged_answers[q].extend(
+                        (int(gsids[sid]), sim) for sid, sim in result.answers
+                    )
+                if result.candidates:
+                    merged_cands[q].update(
+                        int(gsids[sid]) for sid in result.candidates
+                    )
+            io = io + sbatch.io
+            pages_saved += sbatch.pages_saved
+            fetches_saved += sbatch.fetches_saved
+            for phase, ms in (sbatch.timings or {}).items():
+                timings[phase] = timings.get(phase, 0.0) + ms
+        for answers in merged_answers:
+            # The engine-wide answer order (``in_range_answers``):
+            # best-first, sid ties ascending.  Shard-local sims of a
+            # pair equal the global path's (same IEEE jaccard), so
+            # re-sorting the mapped union reproduces the unsharded
+            # ordering exactly.
+            answers.sort(key=lambda pair: (-pair[1], pair[0]))
+        if self._live:
+            cost = self.sharded.shards[self._live[0]].cost
+            io_time, cpu_time = cost.io_time(io), cost.cpu_time(io)
+        else:
+            io_time = cpu_time = 0.0
+        batch = BatchQueryResult(
+            results=[
+                QueryResult(
+                    answers=answers, candidates=candidates,
+                    io=IOStats(), io_time=0.0, cpu_time=0.0,
+                )
+                for answers, candidates in zip(merged_answers, merged_cands)
+            ],
+            io=io,
+            io_time=io_time,
+            cpu_time=cpu_time,
+            pages_saved=pages_saved,
+            fetches_saved=fetches_saved,
+        )
+        batch.timings = timings
+        return batch
+
+    def _exec_stats(self, shard_batches, strategy, wall0, merge_seconds):
+        shard_walls = {
+            i: seconds for i, (_, seconds) in sorted(shard_batches.items())
+        }
+        stage_seconds: dict[str, float] = {}
+        for _, (sbatch, _) in sorted(shard_batches.items()):
+            for stage, seconds in (
+                (sbatch.exec_stats or {}).get("stage_seconds", {}).items()
+            ):
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+        return {
+            "sharded": True,
+            "n_shards": self.sharded.n_shards,
+            "live_shards": len(self._live),
+            "workers": self.workers,
+            "backend": self.backend,
+            "strategy": strategy,
+            "wall_seconds": time.perf_counter() - wall0,
+            "merge_seconds": merge_seconds,
+            "shard_wall_seconds": shard_walls,
+            "stage_seconds": stage_seconds,
+            "shards": {
+                i: {
+                    "wall_seconds": sbatch.exec_stats["wall_seconds"],
+                    "n_candidates": sbatch.n_candidates,
+                    "n_verified": sbatch.n_verified,
+                }
+                for i, (sbatch, _) in sorted(shard_batches.items())
+            },
+        }
+
+    def _record(self, batch, shard_batches, n, wall0,
+                sigma_low, sigma_high, strategy) -> None:
+        """One merged telemetry record per sharded batch (the per-shard
+        executors ran with ``record=False``), plus the ``metric_prefix``
+        fleet instruments."""
+        walls = []
+        for i, (sbatch, seconds) in shard_batches.items():
+            self._m_latency[i].observe(seconds * 1e3)
+            self._m_candidates[i].inc(sbatch.n_candidates)
+            walls.append(seconds)
+        self._m_batches.inc()
+        self._m_routed.inc(n * len(self._live))
+        if walls:
+            mean = sum(walls) / len(walls)
+            self._m_skew.set(max(walls) / mean if mean > 0 else 1.0)
+        _SHARD_BATCHES.inc()
+        # The same aggregates the unsharded batch paths record.
+        q_batches = metrics.counter("query.batches")
+        q_batches.inc()
+        metrics.histogram("query.batch_size").observe(n)
+        metrics.counter("query.batch_fetches_saved").inc(batch.fetches_saved)
+        metrics.counter("query.count").inc(n)
+        metrics.counter("query.candidates").inc(batch.n_candidates)
+        metrics.counter("query.verified_hits").inc(batch.n_verified)
+        metrics.counter("query.false_positives").inc(
+            batch.n_candidates - batch.n_verified
+        )
+        per_query = metrics.histogram("query.candidates_per_query")
+        for result in batch.results:
+            per_query.observe(result.n_candidates)
+        events.record_query(
+            "sharded_query_batch",
+            latency_ms=(time.perf_counter() - wall0) * 1e3,
+            sim_time=batch.total_time,
+            n_queries=n,
+            n_candidates=batch.n_candidates,
+            n_verified=batch.n_verified,
+            pages_read=batch.io.random_reads + batch.io.sequential_reads,
+            cache_hits=0,
+            backend=self.backend,
+            workers=self.workers,
+            strategy=strategy,
+            sigma_low=sigma_low,
+            sigma_high=sigma_high,
+            timings=batch.timings,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(shards={self.sharded.n_shards}, "
+            f"workers={self.workers}, backend={self.backend!r})"
+        )

@@ -118,14 +118,31 @@ class QueryServer:
         """Open the snapshot, spin up the executor pool, bind the
         socket.  ``self.port`` holds the bound port afterwards."""
         from repro.exec import ParallelExecutor, open_snapshot
+        from repro.exec.shard import (
+            ShardedExecutor,
+            ShardedSnapshot,
+            is_sharded,
+            open_sharded,
+        )
         from repro.exec.snapfile import MappedSnapshot
 
         cfg = self.config
         snapshot = self._snapshot_ref
-        if not isinstance(snapshot, MappedSnapshot):
-            snapshot = open_snapshot(snapshot)
+        if not isinstance(snapshot, (MappedSnapshot, ShardedSnapshot)):
+            if is_sharded(snapshot):
+                snapshot = open_sharded(snapshot)
+            else:
+                snapshot = open_snapshot(snapshot)
         self.snapshot = snapshot
-        if cfg.backend == "process":
+        if isinstance(snapshot, ShardedSnapshot):
+            # Scatter-gather over the shard fleet; per-shard telemetry
+            # lands under serve.shard.* (latency HDRs, candidate and
+            # routing counters, wall-skew gauge).
+            self._executor = ShardedExecutor(
+                snapshot, workers=cfg.workers, backend=cfg.backend,
+                metric_prefix="serve.shard",
+            )
+        elif cfg.backend == "process":
             self._executor = ParallelExecutor(
                 snapshot, workers=cfg.workers, backend="process"
             )
@@ -396,11 +413,22 @@ class QueryServer:
 
     def stats(self) -> dict[str, Any]:
         """Service-level stats for the ``stats`` op and the CLI."""
+        from repro.exec.shard import ShardedSnapshot
+
         core = self._coalescer.core
         stats = core.stats
         sizes = list(stats.batch_sizes)
+        shard_info = {}
+        if isinstance(self.snapshot, ShardedSnapshot):
+            shard_info = {
+                "sharded": True,
+                "n_shards": self.snapshot.n_shards,
+                "live_shards": len(self.snapshot.live_shards),
+                "tune": self.snapshot.manifest["tune"],
+            }
         return {
             "n_sets": self.snapshot.n_sets,
+            **shard_info,
             "backend": self.config.backend,
             "workers": self.config.workers,
             "max_batch": core.max_batch,

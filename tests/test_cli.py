@@ -189,7 +189,7 @@ class TestObservabilityCommands:
 
 
 class TestSnapshotCommands:
-    def test_save_info_verify_serve(self, built_index_path, tmp_path, capsys):
+    def test_save_info_verify(self, built_index_path, tmp_path, capsys):
         snap_dir = tmp_path / "snap.d"
         rc = main(
             ["snapshot", "save", "--index", str(built_index_path),
@@ -209,12 +209,22 @@ class TestSnapshotCommands:
         assert rc == 0
         assert "all checksums pass" in capsys.readouterr().out
 
+    def test_snapshot_serve_removed(self, built_index_path, tmp_path, capsys):
+        """Old `snapshot serve` command lines parse but error with a
+        pointer at `repro serve`."""
+        snap_dir = tmp_path / "snap.d"
+        assert main(["snapshot", "save", "--index", str(built_index_path),
+                     "--out", str(snap_dir)]) == 0
+        capsys.readouterr()
         rc = main(
             ["snapshot", "serve", "--path", str(snap_dir),
              "--set", "apple banana cherry", "--low", "0.9", "--high", "1.0"]
         )
-        assert rc == 0
-        assert "0\t1.0000" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.out == ""
+        assert "removed" in captured.err
+        assert "repro serve --snapshot" in captured.err
 
     def test_verify_reports_corruption(self, built_index_path, tmp_path, capsys):
         snap_dir = tmp_path / "snap.d"
@@ -269,3 +279,108 @@ class TestSnapshotCommands:
         )
         assert rc == 2
         assert "requires --snapshot" in capsys.readouterr().err
+
+
+@pytest.fixture
+def shard_sets_file(tmp_path):
+    """A set file big enough that hash partitioning fills every shard."""
+    import random
+
+    rng = random.Random(17)
+    path = tmp_path / "shard_sets.txt"
+    path.write_text("\n".join(
+        " ".join(str(x) for x in rng.sample(range(300), rng.randint(4, 14)))
+        for _ in range(80)
+    ) + "\n")
+    return path
+
+
+class TestShardCommands:
+    def test_build_info_verify_stats(self, shard_sets_file, tmp_path, capsys):
+        shard_dir = tmp_path / "shards.d"
+        rc = main([
+            "shard", "build", "--input", str(shard_sets_file),
+            "--out", str(shard_dir), "--shards", "3", "--budget", "24",
+            "--k", "16", "--bits", "4", "--sample-pairs", "500",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert (shard_dir / "shard_manifest.json").exists()
+
+        rc = main(["shard", "info", "--path", str(shard_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro-ssi-shards" in out
+        assert "shard-000" in out
+
+        rc = main(["shard", "verify", "--path", str(shard_dir)])
+        assert rc == 0
+        assert "all checksums pass" in capsys.readouterr().out
+
+        rc = main(["stats", "--shards", str(shard_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-shard occupancy" in out
+        assert "budget allocation" in out
+
+    def test_verify_reports_corruption(self, shard_sets_file, tmp_path, capsys):
+        shard_dir = tmp_path / "shards.d"
+        assert main([
+            "shard", "build", "--input", str(shard_sets_file),
+            "--out", str(shard_dir), "--shards", "2", "--budget", "16",
+            "--k", "16", "--bits", "4", "--sample-pairs", "500",
+        ]) == 0
+        capsys.readouterr()
+        import json
+
+        victim = next(shard_dir.glob("shard-*/arrays.bin"))
+        # Flip a byte inside a named array (padding isn't checksummed).
+        manifest = json.loads((victim.parent / "manifest.json").read_text())
+        spec = max(manifest["arrays"].values(), key=lambda s: s["nbytes"])
+        blob = bytearray(victim.read_bytes())
+        blob[spec["offset"] + spec["nbytes"] // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        rc = main(["shard", "verify", "--path", str(shard_dir)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_workload_tuned_build(self, shard_sets_file, tmp_path, capsys):
+        shard_dir = tmp_path / "tuned.d"
+        rc = main([
+            "shard", "build", "--input", str(shard_sets_file),
+            "--out", str(shard_dir), "--shards", "2",
+            "--partition", "cluster", "--tune", "workload",
+            "--budget", "24", "--k", "16", "--bits", "4",
+            "--sample-pairs", "500",
+            "--workload", str(shard_sets_file),
+            "--workload-low", "0.3", "--workload-high", "0.9",
+        ])
+        assert rc == 0
+        assert "tune=workload" in capsys.readouterr().out
+
+    def test_stats_rejects_index_and_shards_together(self, capsys):
+        rc = main(["stats", "--index", "a", "--shards", "b"])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_stats_requires_a_source(self, capsys):
+        rc = main(["stats"])
+        assert rc == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestLoadgenFlags:
+    def test_requests_is_an_alias_for_total(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--requests", "25", "--synthetic", "4"]
+        )
+        assert args.total == 25
+        args = build_parser().parse_args(
+            ["loadgen", "--total", "30", "--synthetic", "4"]
+        )
+        assert args.total == 30
+
+    def test_serve_accepts_shards_alias(self):
+        args = build_parser().parse_args(["serve", "--shards", "some.d"])
+        assert args.snapshot == "some.d"

@@ -14,9 +14,9 @@ serializes via ``repr``).
 The robustness half attacks the protocol: malformed JSON, invalid
 requests, oversized lines, half-closed sockets, pipelining, slow
 clients and overload must all produce *typed* errors (or correct
-answers) and leave the server serving.  A regression test covers the
-deprecated one-shot ``snapshot serve`` CLI invocation, which now
-shares the service codec.
+answers) and leave the server serving.  A regression test pins the
+*removal* of the one-shot ``snapshot serve`` CLI invocation: old
+command lines still parse but get an error pointing at this service.
 """
 
 from __future__ import annotations
@@ -461,64 +461,36 @@ class TestOverloadAndDrain:
 
 
 # ---------------------------------------------------------------------------
-# Deprecated one-shot path: regression + shared codec
+# Removed one-shot path: old invocations get a pointer, never answers
 # ---------------------------------------------------------------------------
 
 
-class TestOneShotSnapshotServe:
-    def test_old_invocation_still_works(self, workload, capsys):
-        """The pre-existing `snapshot serve` CLI contract: TSV answers
-        on stdout -- now with a deprecation pointer on stderr."""
-        index, queries, path = workload
+class TestOneShotSnapshotServeRemoved:
+    def test_old_invocation_errors_with_pointer(self, workload, capsys):
+        """`snapshot serve` is gone: the old flags still parse, but the
+        command errors (rc 2) and points at the replacement service."""
+        _, queries, path = workload
         probe = " ".join(str(e) for e in sorted(queries[0]))
         rc = cli_main([
             "snapshot", "serve", "--path", str(path),
             "--set", probe, "--low", "0.4",
         ])
         captured = capsys.readouterr()
-        assert rc == 0
-        assert "deprecated" in captured.err
-        assert "repro serve" in captured.err
-        # Output equivalence with the direct batch (string elements).
-        direct = index.query_batch(
-            [frozenset(probe.split())], 0.4, 1.0
-        )
-        want_lines = {
-            f"0\t{sid}\t{sim:.4f}" for sid, sim in direct.results[0].answers
-        }
-        got_lines = {
-            line for line in captured.out.splitlines() if line and not
-            line.startswith("#")
-        }
-        assert got_lines == want_lines
+        assert rc == 2
+        assert captured.out == ""  # no answers from the removed path
+        assert "removed" in captured.err
+        assert "repro serve --snapshot" in captured.err
+        assert "loadgen" in captured.err
 
-    def test_json_lines_mode_uses_service_codec(self, workload, capsys):
-        index, queries, path = workload
-        probe = " ".join(str(e) for e in sorted(queries[0]))
-        rc = cli_main([
-            "snapshot", "serve", "--path", str(path),
-            "--set", probe, "--low", "0.4", "--json-lines",
-        ])
-        captured = capsys.readouterr()
-        assert rc == 0
-        payload = [json.loads(line) for line in captured.out.splitlines()
-                   if line.startswith("{")]
-        assert len(payload) == 1
-        resp = payload[0]
-        assert resp["ok"] is True and resp["id"] == 0
-        direct = index.query_batch([frozenset(probe.split())], 0.4, 1.0)
-        want = [[int(s), float(v)] for s, v in direct.results[0].answers]
-        assert resp["answers"] == want
-
-    def test_invalid_range_rejected_through_codec(self, workload, capsys):
+    def test_json_lines_flag_also_errors(self, workload, capsys):
         _, _, path = workload
         rc = cli_main([
             "snapshot", "serve", "--path", str(path),
-            "--set", "a b", "--low", "0.9", "--high", "0.2",
+            "--set", "a b", "--json-lines",
         ])
         captured = capsys.readouterr()
         assert rc == 2
-        assert "bad_request" in captured.err
+        assert "removed" in captured.err
 
 
 # ---------------------------------------------------------------------------
