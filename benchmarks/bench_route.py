@@ -1,0 +1,460 @@
+"""Shard routing: safe-mode equivalence, pruned QPS, replicas (BENCH-ROUTE).
+
+Measures what build-time routing summaries buy a sharded fleet on a
+**skewed range workload** -- near-disjoint planted clusters, cluster
+-partitioned so each shard holds one similarity neighborhood, with the
+query traffic concentrated on a couple of hot clusters.  Behind the
+gate the routing layer must clear first:
+
+* **safe-mode equivalence** (always gated, before any number is
+  reported) -- at every seed in a 12-seed sweep x K in {2, 4, 8},
+  ``route="safe"`` must answer **bit-identically** to both full
+  fan-out and the unsharded executor: same sids, same exact D_S
+  similarities, same best-first ordering, same candidate sets.  Safe
+  mode only masks verification for (query, shard) pairs whose sound
+  Jaccard upper bound falls below ``sigma_low``, so any deviation is a
+  soundness bug.  A run that fails this gate exits non-zero regardless
+  of its numbers.
+* **sketch-mode throughput** -- the opt-in ``route="sketch"`` path
+  skips pruned shards outright.  Reported per K: honest measured wall
+  QPS on this host plus a *modeled* QPS that replaces the serialized
+  sum of per-shard walls with their max (per-shard walls measured in
+  isolation, serially, on each shard's **surviving sub-batch only**;
+  routing overhead and measured merge added back -- the same
+  convention as BENCH_shard's K-way overlap model).  Full mode gates
+  modeled routed QPS at >= 1.3x modeled full fan-out at the largest K,
+  and reports the shard-skip ratio and the measured recall of sketch
+  mode against full fan-out alongside.
+* **replica balance** (always gated) -- after ``replicate_shards`` on
+  the hottest shards, repeated batches must spread dispatches across
+  the crc-identical copies: max/mean dispatches <= 1.5 at 2 copies.
+
+Run standalone (used by CI in smoke mode)::
+
+    PYTHONPATH=src python benchmarks/bench_route.py [--smoke] [--out PATH]
+
+Writes ``BENCH_route.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_route.json"
+
+RANGE = (0.5, 1.0)
+SEED = 17
+
+K_LEVELS = (2, 4, 8)
+EQUIV_SEEDS = 12
+SMOKE_K_LEVELS = (2, 4)
+SMOKE_EQUIV_SEEDS = 3
+
+
+def build_route_workload(n_clusters, per_cluster, n_queries, seed,
+                         hot_clusters=4, hot_frac=0.8):
+    """Near-disjoint planted clusters + hot-cluster-skewed queries.
+
+    Each cluster draws ~4-element mutations of a 60-element prototype
+    over its own element range, so within-cluster Jaccard is high
+    (the minhash partitioner colocates a cluster per shard) and
+    across-cluster Jaccard is exactly 0 (a query's bound against a
+    foreign shard is provably < sigma_low).  ``hot_frac`` of the
+    queries perturb members of the first ``hot_clusters`` clusters --
+    the skew that makes routing (and hot-shard replicas) pay.
+    """
+    rng = random.Random(seed)
+    sets, members_by_cluster = [], []
+    for c in range(n_clusters):
+        base = list(range(c * 1_000, c * 1_000 + 120))
+        proto = rng.sample(base, 60)
+        off_proto = [e for e in base if e not in proto]
+        members = []
+        for _ in range(per_cluster):
+            keep = rng.sample(proto, 56)
+            members.append(frozenset(keep + rng.sample(off_proto, 4)))
+        members_by_cluster.append(members)
+        sets.extend(members)
+
+    def perturb(member):
+        src = sorted(member)
+        rng.shuffle(src)
+        base = list(range((src[0] // 1_000) * 1_000,
+                          (src[0] // 1_000) * 1_000 + 120))
+        fresh = rng.sample([e for e in base if e not in member], 3)
+        return frozenset(src[3:] + fresh)
+
+    queries = []
+    for _ in range(n_queries):
+        if rng.random() < hot_frac:
+            cluster = rng.randrange(hot_clusters)
+        else:
+            cluster = rng.randrange(n_clusters)
+        queries.append(perturb(rng.choice(members_by_cluster[cluster])))
+    return sets, queries
+
+
+def batches_identical(got, want) -> bool:
+    if got.n_queries != want.n_queries:
+        return False
+    for g, w in zip(got.results, want.results):
+        if g.answers != w.answers or g.candidates != w.candidates:
+            return False
+    return True
+
+
+def run_safe_equivalence(workdir, n_seeds, k_levels):
+    """12-seed x K sweep: safe == full == unsharded, bit for bit."""
+    import numpy as np
+
+    from repro.core.distribution import SimilarityDistribution
+    from repro.core.index import SetSimilarityIndex
+    from repro.core.optimizer import plan_index
+    from repro.data.generators import planted_clusters
+    from repro.exec.parallel import ParallelExecutor
+    from repro.exec.shard import ShardedExecutor, build_sharded, open_sharded
+
+    rows = []
+    pruned_total = 0
+    for seed in range(n_seeds):
+        rng = np.random.default_rng(seed)
+        sets = planted_clusters(
+            n_clusters=5, per_cluster=18, base_size=16, universe=900,
+            mutation_rate=0.25, seed=seed,
+        )
+        queries = [sets[int(rng.integers(len(sets)))] for _ in range(4)]
+        queries.append(frozenset(int(x) for x in rng.integers(0, 900, 10)))
+        queries.append(frozenset())
+        dist = SimilarityDistribution.from_sets(
+            sets, sample_pairs=1_500, seed=seed
+        )
+        plan = plan_index(dist, 36, recall_target=0.85, b=4)
+        index = SetSimilarityIndex.from_plan(
+            sets, plan, dist, k=24, b=4, seed=seed
+        )
+        want = ParallelExecutor(index.freeze(), workers=1).query_batch(
+            queries, 0.3, 0.9
+        )
+        for n_shards in k_levels:
+            shard_dir = workdir / f"equiv-s{seed}-k{n_shards}"
+            build_sharded(
+                sets, shard_dir, n_shards=n_shards, partition="cluster",
+                k=24, b=4, seed=seed, plan=plan, dist=dist,
+            )
+            sharded = open_sharded(shard_dir)
+            with ShardedExecutor(sharded, route="full") as executor:
+                full = executor.query_batch(queries, 0.3, 0.9)
+            with ShardedExecutor(sharded, route="safe") as executor:
+                safe = executor.query_batch(queries, 0.3, 0.9)
+            pruned = safe.exec_stats["route"]["subqueries_pruned"]
+            pruned_total += pruned
+            ok = (batches_identical(safe, want)
+                  and batches_identical(safe, full))
+            rows.append({
+                "seed": seed,
+                "n_shards": n_shards,
+                "subqueries_pruned": pruned,
+                "identical": ok,
+            })
+            if not ok:
+                print(f"  seed={seed} K={n_shards}: MISMATCH")
+    n_ok = sum(r["identical"] for r in rows)
+    print(f"  safe == full == unsharded on {n_ok}/{len(rows)} combos "
+          f"({pruned_total} subqueries pruned across the sweep)")
+    return {
+        "combos": rows,
+        "n_ok": n_ok,
+        "n_combos": len(rows),
+        "subqueries_pruned_total": pruned_total,
+        "all_identical": n_ok == len(rows),
+        "pruning_exercised": pruned_total > 0,
+    }
+
+
+def run_routing_throughput(sets, queries, workdir, k_levels, repeats):
+    """Full fan-out vs sketch-routed, measured and modeled, per K.
+
+    The modeled pass times each shard's batch in isolation, serially
+    (no thread interleaving inflates it): full mode runs every query
+    on every shard; routed mode runs only the shard's surviving
+    sub-batch and charges the routing decision's own wall on top.
+    ``modeled_wall = max(isolated walls) + merge + route_seconds``.
+    """
+    from repro.exec.shard import ShardedExecutor, build_sharded, open_sharded
+
+    rows = []
+    for n_shards in k_levels:
+        shard_dir = workdir / f"route-k{n_shards}"
+        build_sharded(
+            sets, shard_dir, n_shards=n_shards, partition="cluster",
+            k=32, b=4, seed=SEED, budget=60, recall_target=0.85,
+            sample_pairs=4_000,
+        )
+        sharded = open_sharded(shard_dir)
+        walls = {"full": [], "sketch": []}
+        modeled = {"full": [], "sketch": []}
+        stats = {}
+        answer_pairs = {}
+        for mode in ("full", "sketch"):
+            with ShardedExecutor(sharded, route=mode) as executor:
+                executor.query_batch(queries[:4], *RANGE)  # warm caches
+                merges, route_secs = [], []
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    batch = executor.query_batch(queries, *RANGE)
+                    walls[mode].append(time.perf_counter() - t0)
+                    merges.append(batch.exec_stats["merge_seconds"])
+                    route_secs.append(
+                        batch.exec_stats["route"]["route_seconds"]
+                    )
+                merge = min(merges)  # best-of, like every measured wall
+                route_stats = dict(
+                    batch.exec_stats["route"],
+                    route_seconds=min(route_secs),
+                )
+                stats[mode] = route_stats
+                answer_pairs[mode] = {
+                    (r, sid) for r, res in enumerate(batch.results)
+                    for sid, _ in res.answers
+                }
+                if mode == "sketch" and executor.route_active:
+                    decision = executor._router.route(
+                        [frozenset(q) for q in queries], RANGE[0],
+                        executor._live, sketch=True,
+                    )
+                    kept = decision.kept
+                else:
+                    kept = {i: list(range(len(queries)))
+                            for i in executor._live}
+                for _ in range(repeats):
+                    isolated = [0.0]
+                    for i in executor._live:
+                        sub = [queries[r] for r in kept[i]]
+                        if not sub:
+                            continue  # undispatched: zero wall
+                        shard_exec = executor._executors[i]
+                        t0 = time.perf_counter()
+                        shard_exec.query_batch(sub, *RANGE)
+                        isolated.append(time.perf_counter() - t0)
+                    modeled[mode].append(
+                        max(isolated) + merge
+                        + route_stats["route_seconds"]
+                    )
+        n = len(queries)
+        live = len(sharded.live_shards)
+        want_pairs = answer_pairs["full"]
+        got_pairs = answer_pairs["sketch"]
+        recall = (len(got_pairs & want_pairs) / len(want_pairs)
+                  if want_pairs else 1.0)
+        row = {
+            "n_shards": n_shards,
+            "live_shards": live,
+            "measured_qps_full": round(n / min(walls["full"]), 1),
+            "measured_qps_sketch": round(n / min(walls["sketch"]), 1),
+            "measured_speedup": round(
+                min(walls["full"]) / min(walls["sketch"]), 2
+            ),
+            "modeled_qps_full": round(n / min(modeled["full"]), 1),
+            "modeled_qps_sketch": round(n / min(modeled["sketch"]), 1),
+            "modeled_speedup": round(
+                min(modeled["full"]) / min(modeled["sketch"]), 2
+            ),
+            "subqueries_pruned": stats["sketch"]["subqueries_pruned"],
+            "subquery_prune_ratio": round(
+                stats["sketch"]["subqueries_pruned"] / (n * live), 3
+            ),
+            "shards_skipped_per_batch": stats["sketch"]["shards_skipped"],
+            "shard_skip_ratio": round(
+                stats["sketch"]["shards_skipped"] / live, 3
+            ),
+            "sketch_recall_vs_full": round(recall, 4),
+            "n_full_answer_pairs": len(want_pairs),
+        }
+        rows.append(row)
+        print(
+            f"  K={n_shards}: modeled full {row['modeled_qps_full']} qps -> "
+            f"sketch {row['modeled_qps_sketch']} qps "
+            f"({row['modeled_speedup']}x), measured "
+            f"{row['measured_speedup']}x, prune ratio "
+            f"{row['subquery_prune_ratio']}, skip ratio "
+            f"{row['shard_skip_ratio']}, recall {row['sketch_recall_vs_full']}"
+        )
+    return rows
+
+
+def run_replica_balance(sets, queries, workdir, n_shards, n_batches):
+    """Replicate the two hottest shards; check p2c dispatch balance."""
+    from repro.exec.shard import (
+        ShardedExecutor,
+        build_sharded,
+        open_sharded,
+        replicate_shards,
+    )
+
+    shard_dir = workdir / "replicated"
+    build_sharded(
+        sets, shard_dir, n_shards=n_shards, partition="cluster",
+        k=32, b=4, seed=SEED, budget=60, recall_target=0.85,
+        sample_pairs=4_000,
+    )
+    manifest = replicate_shards(
+        shard_dir, top=2, copies=2, workload=queries, workload_range=RANGE,
+    )
+    replicated = [e["dir"] for e in manifest["shards"] if e.get("replicas")]
+    with ShardedExecutor(open_sharded(shard_dir), route="safe") as executor:
+        t0 = time.perf_counter()
+        for _ in range(n_batches):
+            executor.query_batch(queries, *RANGE)
+        wall = time.perf_counter() - t0
+        counts = executor.replica_dispatch_counts()
+    worst = 0.0
+    per_shard = {}
+    for i, slots in counts.items():
+        mean = sum(slots) / len(slots)
+        ratio = max(slots) / mean if mean > 0 else 1.0
+        per_shard[str(i)] = {"dispatches": slots,
+                             "max_over_mean": round(ratio, 3)}
+        worst = max(worst, ratio)
+    balanced = worst <= 1.5 and bool(counts)
+    print(
+        f"  replicated {replicated} x2; worst max/mean dispatch "
+        f"{worst:.3f} over {n_batches} batches "
+        f"({'balanced' if balanced else 'IMBALANCED'})"
+    )
+    return {
+        "replicated_shards": replicated,
+        "copies": 2,
+        "n_batches": n_batches,
+        "wall_seconds": round(wall, 4),
+        "dispatches": per_shard,
+        "worst_max_over_mean": round(worst, 3),
+        "balanced": balanced,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep, no full-mode speedup gate")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args()
+
+    smoke = args.smoke
+    k_levels = SMOKE_K_LEVELS if smoke else K_LEVELS
+    n_seeds = SMOKE_EQUIV_SEEDS if smoke else EQUIV_SEEDS
+    # Twice as many clusters as shards: cluster blocks tile shards
+    # with bounded straddling, so per-shard universes stay disjoint
+    # enough for the bound to bite.
+    n_clusters = 2 * max(k_levels)
+    hot_clusters = 4
+    per_cluster = 12 if smoke else 40
+    n_queries = 16 if smoke else 48
+    repeats = 2 if smoke else 4
+    n_batches = 8 if smoke else 24
+    cpu_count = os.cpu_count() or 1
+
+    print(f"workload: {n_clusters} near-disjoint clusters x {per_cluster} "
+          f"sets, {n_queries} queries (80% on {hot_clusters} hot clusters), "
+          f"range {RANGE}, {'smoke' if smoke else 'full'} mode")
+    sets, queries = build_route_workload(
+        n_clusters, per_cluster, n_queries, SEED, hot_clusters=hot_clusters
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_route-") as td:
+        workdir = Path(td)
+        print("safe-mode equivalence gate (before any number is reported):")
+        equivalence = run_safe_equivalence(workdir, n_seeds, k_levels)
+        if not equivalence["all_identical"]:
+            args.out.write_text(json.dumps({
+                "experiment": "BENCH-ROUTE",
+                "equivalence": equivalence,
+                "gates": {"safe_equivalence_ok": False},
+            }, indent=1) + "\n")
+            raise SystemExit(
+                "FAIL: route='safe' is not bit-identical to full fan-out"
+            )
+        print("routing throughput (skewed workload, direct executors):")
+        throughput = run_routing_throughput(
+            sets, queries, workdir, k_levels, repeats
+        )
+        print("replica balance:")
+        replicas = run_replica_balance(
+            sets, queries, workdir, max(k_levels), n_batches
+        )
+
+    top = next(r for r in throughput if r["n_shards"] == max(k_levels))
+    gates = {
+        "safe_equivalence_ok": equivalence["all_identical"],
+        "pruning_exercised": equivalence["pruning_exercised"],
+        "routed_k": top["n_shards"],
+        "routed_speedup": top["modeled_speedup"],
+        "routed_speedup_basis": "modeled",
+        "routed_speedup_ok": top["modeled_speedup"] >= 1.3,
+        "sketch_recall": top["sketch_recall_vs_full"],
+        "replica_balance_ok": replicas["balanced"],
+    }
+
+    report = {
+        "experiment": "BENCH-ROUTE",
+        "workload": {
+            "generator": "near-disjoint prototype clusters",
+            "n_clusters": n_clusters,
+            "per_cluster": per_cluster,
+            "n_sets": len(sets),
+            "n_queries": n_queries,
+            "hot_clusters": hot_clusters,
+            "hot_frac": 0.8,
+            "repeats": repeats,
+            "seed": SEED,
+            "range": list(RANGE),
+            "mode": "smoke" if smoke else "full",
+        },
+        "host": {
+            "cpu_count": cpu_count,
+            "single_core_host": cpu_count == 1,
+        },
+        "metric_note": (
+            "safe-mode equivalence compares answers (sids, exact "
+            "similarities, best-first ordering) and candidate sets against "
+            "both full fan-out and the unsharded executor; modeled_qps = "
+            "max(per-shard walls measured in isolation, serially, on each "
+            "shard's surviving sub-batch) + measured merge + routing "
+            "overhead -- BENCH_shard's K-way overlap convention; "
+            "measured_qps is honest single-host wall clock (threads share "
+            "one core here, so routing's measured win comes from pruned "
+            "probe/verify work, not concurrency); sketch recall is "
+            "answer-pair recall vs full fan-out on this workload; all "
+            "timings are best-of-repeats"
+        ),
+        "equivalence": equivalence,
+        "throughput": throughput,
+        "replicas": replicas,
+        "gates": gates,
+    }
+    args.out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.out}")
+
+    if not gates["pruning_exercised"]:
+        raise SystemExit("FAIL: the equivalence sweep never pruned anything")
+    if not replicas["balanced"]:
+        raise SystemExit(
+            f"FAIL: replica dispatch max/mean "
+            f"{replicas['worst_max_over_mean']} > 1.5"
+        )
+    if not smoke and not gates["routed_speedup_ok"]:
+        raise SystemExit(
+            f"FAIL: K={top['n_shards']} modeled routed speedup "
+            f"{top['modeled_speedup']}x < 1.3x"
+        )
+    print("gates pass")
+
+
+if __name__ == "__main__":
+    main()

@@ -153,10 +153,39 @@ def _print_batch(batch) -> None:
 
 
 def _snapshot_batch(path, query_sets, args, explain: bool):
-    """Open a mapped snapshot and serve one batch on the chosen backend."""
+    """Open a mapped snapshot (or shard fleet) and serve one batch on
+    the chosen backend.  Sharded directories are auto-detected and
+    scatter-gathered with the ``--route`` mode."""
     from repro.exec import ParallelExecutor, open_snapshot
+    from repro.exec.shard import ShardedExecutor, is_sharded, open_sharded
 
+    route = getattr(args, "route", "safe")
     t0 = time.perf_counter()
+    if is_sharded(path):
+        sharded = open_sharded(path)
+        open_ms = (time.perf_counter() - t0) * 1e3
+        print(
+            f"# sharded index {path}: opened in {open_ms:.1f} ms "
+            f"({sharded.n_sets} sets over {sharded.n_shards} shards), "
+            f"backend={args.backend}, workers={args.workers}, route={route}",
+            file=sys.stderr,
+        )
+        with ShardedExecutor(
+            sharded, workers=args.workers, backend=args.backend, route=route
+        ) as executor:
+            batch = executor.query_batch(
+                query_sets, args.low, args.high,
+                strategy=args.strategy, explain=explain,
+            )
+            rstats = batch.exec_stats["route"]
+            if rstats["active"]:
+                print(
+                    f"# routing ({rstats['mode']}): "
+                    f"{rstats['subqueries_pruned']} subqueries pruned, "
+                    f"{rstats['shards_skipped']} shards skipped",
+                    file=sys.stderr,
+                )
+            return batch
     snapshot = open_snapshot(path)
     open_ms = (time.perf_counter() - t0) * 1e3
     print(
@@ -360,12 +389,19 @@ def _shard_stats(path: str) -> int:
     print(f"global budget:     {m['build']['budget']} tables "
           f"({gp['tables_used']} used by the global plan, "
           f"expected recall {gp['expected_recall']:.3f})")
+    routing = m.get("routing")
+    if routing:
+        print(f"routing:           {routing['m_bits']}-bit universe sketches, "
+              f"{routing['sig_k']}-coordinate minhash profiles")
+    else:
+        print("routing:           none (rebuild to add summaries)")
     print("per-shard occupancy:")
     header = (
         f"  {'shard':<12}{'sets':>8}{'weight':>9}{'tables':>8}"
-        f"{'recall':>9}{'arrays':>12}"
+        f"{'recall':>9}{'arrays':>12}{'sizes':>12}{'replicas':>9}"
     )
     print(header)
+    route_shards = (routing or {}).get("shards") or [None] * len(m["shards"])
     for i, entry in enumerate(m["shards"]):
         if entry.get("empty"):
             nbytes = 0
@@ -374,10 +410,13 @@ def _shard_stats(path: str) -> int:
                 (Path(path) / entry["dir"] / MANIFEST_FILE).read_text()
             )
             nbytes = shard_manifest["arrays_bytes"]
+        rs = route_shards[i]
+        sizes = f"{rs['size_min']}-{rs['size_max']}" if rs else "-"
         print(
             f"  {entry['dir']:<12}{entry['n_sets']:>8}"
             f"{entry['weight']:>9.3f}{entry['tables']:>8}"
             f"{entry['expected_recall']:>9.3f}{nbytes:>12,}"
+            f"{sizes:>12}{1 + len(entry.get('replicas', [])):>9}"
             + ("  (empty)" if entry.get("empty") else "")
         )
     print("budget allocation (tables per filter x shard):")
@@ -504,13 +543,15 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def cmd_shard(args: argparse.Namespace) -> int:
-    """``shard``: build/inspect/verify sharded scatter-gather indexes.
+    """``shard``: build/replicate/inspect/verify sharded indexes.
 
     ``build`` partitions a set file into K shards and persists each as
-    its own mmap snapshot under a checksummed shard manifest; ``info``
-    prints the manifest summary; ``verify`` checksums every array of
-    every shard.  Serve the result with ``repro serve --snapshot DIR``
-    (sharded directories are auto-detected).
+    its own mmap snapshot under a checksummed shard manifest (with
+    per-shard routing summaries since manifest v2); ``replicate``
+    clones the hottest shards so dispatches balance across copies;
+    ``info`` prints the manifest summary; ``verify`` checksums every
+    array of every shard and replica.  Serve the result with ``repro
+    serve --snapshot DIR`` (sharded directories are auto-detected).
     """
     if args.shard_command == "build":
         from repro.exec.shard import build_sharded
@@ -544,6 +585,29 @@ def cmd_shard(args: argparse.Namespace) -> int:
                 f"expected recall {entry['expected_recall']:.3f}"
                 + (" (empty)" if entry.get("empty") else "")
             )
+        if manifest.get("routing"):
+            routing = manifest["routing"]
+            print(
+                f"  routing: {routing['m_bits']}-bit universe sketches + "
+                f"{routing['sig_k']}-coordinate minhash profiles per shard"
+            )
+        return 0
+    if args.shard_command == "replicate":
+        from repro.exec.shard import replicate_shards
+
+        workload = read_sets(Path(args.workload)) if args.workload else None
+        manifest = replicate_shards(
+            args.path, top=args.top, copies=args.copies,
+            workload=workload,
+            workload_range=(args.workload_low, args.workload_high),
+        )
+        for entry in manifest["shards"]:
+            if entry.get("replicas"):
+                print(
+                    f"{entry['dir']} (weight {entry['weight']:.3f}) -> "
+                    f"{1 + len(entry['replicas'])} copies: "
+                    + ", ".join(entry["replicas"])
+                )
         return 0
     if args.shard_command == "info":
         from repro.exec.shard import open_sharded
@@ -563,10 +627,24 @@ def cmd_shard(args: argparse.Namespace) -> int:
         print(f"global plan:       {gp['tables_used']} tables, "
               f"expected recall {gp['expected_recall']:.3f}, "
               f"cuts {[round(c, 3) for c in gp['cut_points']]}")
-        for entry in m["shards"]:
+        routing = m.get("routing")
+        if routing:
+            print(f"routing:           {routing['m_bits']}-bit universe "
+                  f"sketches, {routing['sig_k']}-coordinate minhash "
+                  f"profiles (seed {routing['sig_seed']})")
+        else:
+            print("routing:           none (v1 manifest or routing=False "
+                  "build; queries fan out to every shard)")
+        route_shards = (routing or {}).get("shards") or [None] * len(m["shards"])
+        for i, entry in enumerate(m["shards"]):
+            rs = route_shards[i]
+            extra = f", sizes {rs['size_min']}-{rs['size_max']}" if rs else ""
+            if entry.get("replicas"):
+                extra += f", {1 + len(entry['replicas'])} copies"
             print(
                 f"  {entry['dir']}: {entry['n_sets']} sets, "
                 f"{entry['tables']} tables, weight {entry['weight']:.3f}"
+                + extra
                 + (" (empty)" if entry.get("empty") else "")
             )
         return 0
@@ -609,6 +687,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         adaptive=not args.no_adaptive,
+        route=args.route,
     )
 
     async def main() -> None:
@@ -824,6 +903,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the traced span tree as Chrome trace-event JSON "
              "(chrome://tracing / Perfetto); implies tracing",
     )
+    p_query.add_argument(
+        "--route", choices=("full", "safe", "sketch"), default="safe",
+        help="shard routing when --snapshot is a sharded index: 'safe' "
+             "skips provably-empty verification (bit-identical answers), "
+             "'sketch' also skips whole shards via minhash profiles, "
+             "'full' disables routing",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_explain = sub.add_parser(
@@ -951,6 +1037,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard_build.set_defaults(func=cmd_shard)
 
+    p_shard_replicate = shard_sub.add_parser(
+        "replicate",
+        help="clone the hottest shards so dispatch can balance across "
+             "byte-identical replicas",
+    )
+    p_shard_replicate.add_argument("--path", required=True,
+                                   help="sharded-index directory")
+    p_shard_replicate.add_argument(
+        "--top", type=int, default=1,
+        help="replicate the N heaviest live shards",
+    )
+    p_shard_replicate.add_argument(
+        "--copies", type=int, default=2,
+        help="total copies per replicated shard (primary included)",
+    )
+    p_shard_replicate.add_argument(
+        "--workload", metavar="FILE",
+        help="query sets (one per line): re-estimate shard weights from "
+             "this workload instead of the build-time weights",
+    )
+    p_shard_replicate.add_argument("--workload-low", type=float, default=0.5)
+    p_shard_replicate.add_argument("--workload-high", type=float, default=1.0)
+    p_shard_replicate.set_defaults(func=cmd_shard)
+
     p_shard_info = shard_sub.add_parser(
         "info", help="print a shard manifest summary"
     )
@@ -1015,6 +1125,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--events-out", metavar="FILE",
         help="on drain, write captured query events as JSON Lines",
+    )
+    p_serve.add_argument(
+        "--route", choices=("full", "safe", "sketch"), default="safe",
+        help="shard routing for sharded layouts (see `repro query "
+             "--route`); ignored for plain snapshots",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -254,10 +254,19 @@ class ParallelExecutor:
         sigma_high: float,
         strategy: str = "index",
         explain: bool = False,
+        verify_rows: Sequence[int] | None = None,
     ) -> BatchQueryResult:
         """Answer a batch over one shared range; see the module docstring
         for the equivalence guarantees.  Parameters and result semantics
         match :meth:`repro.core.index.SetSimilarityIndex.query_batch`.
+
+        ``verify_rows`` (index strategy only; ignored by scan) limits
+        the fetch/verify stage to the named query rows: other rows keep
+        their full candidate sets but return no answers and charge no
+        fetch I/O.  This is the shard router's verify mask -- sound
+        only when the caller has proven the masked rows can hold no
+        in-range answer on this snapshot, which is exactly what
+        :class:`~repro.exec.route.ShardRouter` establishes per shard.
         """
         snap = self.snapshot
         cost = snap.cost
@@ -296,7 +305,8 @@ class ParallelExecutor:
             else:
                 (candidates_list, answers_list, fetches_saved,
                  probe_pages_saved) = self._index_batch(
-                    query_sets, sigma_low, sigma_high, all_tasks, recording
+                    query_sets, sigma_low, sigma_high, all_tasks, recording,
+                    verify_rows,
                 )
             delta = cost.snapshot() - before
             if strategy == "scan":
@@ -441,6 +451,7 @@ class ParallelExecutor:
         sigma_high: float,
         all_tasks: list[_Task],
         recording: bool,
+        verify_rows: Sequence[int] | None = None,
     ) -> tuple[list[set[int]], list[list[tuple[int, float]]], int, int]:
         snap = self.snapshot
         n = len(query_sets)
@@ -473,8 +484,19 @@ class ParallelExecutor:
                 )
                 if pivot is not None:
                     csp.set(pivot=pivot)
+        if verify_rows is None:
+            vcands_list = candidates_list
+        else:
+            # The router's verify mask: masked rows keep their probe
+            # candidates (reported unchanged) but skip fetch + exact
+            # verification -- they provably hold no in-range answer.
+            keep = set(verify_rows)
+            vcands_list = [
+                cands if i in keep else set()
+                for i, cands in enumerate(candidates_list)
+            ]
         answers_list, fetches_saved = self._verify_stage(
-            query_sets, candidates_list, sigma_low, sigma_high,
+            query_sets, vcands_list, sigma_low, sigma_high,
             matrix, rows, all_tasks, recording,
         )
         return candidates_list, answers_list, fetches_saved, probe_pages_saved

@@ -37,13 +37,24 @@ Partitioning is hash-based by default (a stable content fingerprint,
 independent of input order and ``PYTHONHASHSEED``), with
 ``method="cluster"`` colocating minhash-similar sets -- the layout
 that makes workload weights skewed and the global allocator useful.
+
+Since manifest v2, builds also persist per-shard **routing summaries**
+(:mod:`repro.exec.route`: size ranges, an element-universe bitset, a
+MinHash universe profile) that let :class:`ShardedExecutor` skip the
+fetch/verify work -- or, opted in, the whole dispatch -- for shards
+whose sound Jaccard upper bound falls below ``sigma_low``; and
+:func:`replicate_shards` clones hot shards so dispatches balance over
+copies via power-of-two-choices.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
+import shutil
 import tempfile
+import threading
 import time
 import zlib
 from pathlib import Path
@@ -52,13 +63,22 @@ import numpy as np
 
 from repro.core.index import BatchQueryResult, QueryResult
 from repro.core.minhash import MinHasher, stable_element_hash
+from repro.exec.route import (
+    ROUTING_FILE,
+    ShardRouter,
+    build_routing,
+    load_routing,
+)
 from repro.obs import events, metrics, trace
 from repro.storage.iomodel import IOStats
 
 SHARD_MANIFEST_FILE = "shard_manifest.json"
 SIDMAP_FILE = "sidmap.bin"
 FORMAT_NAME = "repro-ssi-shards"
-FORMAT_VERSION = 1
+#: v2 adds the optional ``routing`` block and per-shard ``replicas``
+#: lists; v1 manifests still open (routing falls back to full fan-out).
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 #: splitmix64 increment, used to fold the partition seed into set
 #: fingerprints so different seeds give different (but each stable)
@@ -203,6 +223,7 @@ def build_sharded(
     workers: int = 1,
     plan=None,
     dist=None,
+    routing: bool = True,
 ) -> dict:
     """Partition, build and persist a K-shard index under ``out``.
 
@@ -319,6 +340,14 @@ def build_sharded(
         )
         shard_entries.append(entry)
 
+    routing_meta = None
+    if routing:
+        routing_meta, routing_arrays = build_routing(shard_sets, seed=seed)
+        routing_meta["arrays"] = (
+            write_arrays(out / ROUTING_FILE, routing_arrays)
+            if routing_arrays else {}
+        )
+
     sidmap_specs = write_arrays(out / SIDMAP_FILE, {
         f"shard{i:03d}_sids": np.asarray(shard_gsids[i], dtype=np.int64)
         for i in range(n_shards)
@@ -341,11 +370,18 @@ def build_sharded(
             "expected_recall": round(plan.expected_recall, 6),
         },
         "sidmap": sidmap_specs,
+        "routing": routing_meta,
         "shards": shard_entries,
         "build_seconds": round(time.perf_counter() - t0, 3),
     }
-    # Manifest written last, atomically: a crashed build never leaves
-    # an openable half-sharded directory (snapfile discipline).
+    _write_manifest(out, manifest)
+    return manifest
+
+
+def _write_manifest(out: Path, manifest: dict) -> None:
+    """Atomic shard-manifest (re)write: a crashed build or replicate
+    never leaves an openable half-written directory (snapfile
+    discipline)."""
     payload = json.dumps(manifest, indent=2).encode()
     fd, tmp_path = tempfile.mkstemp(dir=out, prefix=".shard_manifest-")
     try:
@@ -358,6 +394,75 @@ def build_sharded(
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+
+
+def replicate_shards(
+    path,
+    top: int = 1,
+    copies: int = 2,
+    workload=None,
+    workload_range: tuple[float, float] = (0.5, 1.0),
+) -> dict:
+    """Clone the ``top`` hottest shards to ``copies`` total replicas.
+
+    Shard heat is the manifest's per-shard ``weight`` (set-count share
+    for mirror builds, estimated answer mass for workload-tuned
+    builds); passing a ``workload`` list of query sets re-estimates the
+    weights against the current collection via
+    :func:`estimate_workload_weights` first and persists them.  Each
+    clone is a byte-for-byte ``copytree`` of the shard snapshot
+    directory (``shard-XXX-rNN``), recorded in the entry's
+    ``replicas`` list, and the manifest is rewritten atomically --
+    re-running is idempotent.  Returns the updated manifest.
+
+    Replicas serve reads only: :class:`ShardedExecutor` picks one copy
+    per dispatch by power-of-two-choices on in-flight counters, and
+    because clones are crc-verified identical at open, the pick can
+    never change an answer.
+    """
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    if copies < 2:
+        raise ValueError(f"copies must be >= 2, got {copies}")
+    sharded = open_sharded(path)
+    path = Path(path)
+    manifest = sharded.manifest
+    entries = manifest["shards"]
+    if workload is not None:
+        build = manifest.get("build", {})
+        sets: list[frozenset] = [frozenset()] * sharded.n_sets
+        assignment = np.zeros(sharded.n_sets, dtype=np.int64)
+        for i in sharded.live_shards:
+            snap = sharded.shards[i]
+            gsids = sharded.global_sids[i]
+            for row, sid in enumerate(snap.sids):
+                gsid = int(gsids[row])
+                sets[gsid] = snap.sets[sid]
+                assignment[gsid] = i
+        weights = estimate_workload_weights(
+            sets, assignment, sharded.n_shards, workload, *workload_range,
+            k=min(int(build.get("k", 32)), 32), b=int(build.get("b", 6)),
+            seed=int(build.get("seed", 0)),
+        )
+        for entry, weight in zip(entries, weights):
+            entry["weight"] = round(float(weight), 6)
+    live = [i for i in sharded.live_shards]
+    live.sort(key=lambda i: (-entries[i]["weight"], i))
+    hot = live[:top]
+    for i in hot:
+        entry = entries[i]
+        src = path / entry["dir"]
+        replicas = []
+        for c in range(1, copies):
+            name = f"{entry['dir']}-r{c:02d}"
+            dst = path / name
+            if dst.exists():
+                shutil.rmtree(dst)
+            shutil.copytree(src, dst)
+            replicas.append(name)
+        entry["replicas"] = replicas
+    manifest["version"] = FORMAT_VERSION
+    _write_manifest(path, manifest)
     return manifest
 
 
@@ -375,14 +480,21 @@ def is_sharded(path) -> bool:
 class ShardedSnapshot:
     """An opened K-shard directory: per-shard mapped snapshots plus the
     local-sid -> global-sid maps.  ``shards[i]`` is None for an empty
-    shard."""
+    shard.  ``routing`` is the decoded
+    :class:`~repro.exec.route.RoutingInfo` (None on v1 manifests or
+    ``routing=False`` builds); ``replicas[i]`` lists the extra opened
+    snapshot copies of a replicated shard (the primary is not in the
+    list)."""
 
     def __init__(self, path, manifest: dict, shards: list,
-                 global_sids: list[np.ndarray]):
+                 global_sids: list[np.ndarray], routing=None,
+                 replicas: dict | None = None):
         self.path = Path(path)
         self.manifest = manifest
         self.shards = shards
         self.global_sids = global_sids
+        self.routing = routing
+        self.replicas = replicas or {}
 
     @property
     def n_shards(self) -> int:
@@ -432,7 +544,7 @@ def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
             f"{path} is not a sharded index "
             f"(format={manifest.get('format')!r})"
         )
-    if manifest.get("version") != FORMAT_VERSION:
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise ShardError(
             f"unsupported shard-manifest version {manifest.get('version')!r}"
         )
@@ -445,6 +557,7 @@ def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
     sidmap = open_arrays(path / SIDMAP_FILE, manifest["sidmap"], verify=verify)
     shards: list = []
     global_sids: list[np.ndarray] = []
+    replicas: dict[int, list] = {}
     for i, entry in enumerate(entries):
         gsids = sidmap.get(f"shard{i:03d}_sids")
         if gsids is None:
@@ -477,6 +590,25 @@ def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
                 f"{len(gsids)} global sids"
             )
         shards.append(snap)
+        for name in entry.get("replicas", ()):
+            replica_dir = path / name
+            try:
+                crc = zlib.crc32((replica_dir / MANIFEST_FILE).read_bytes())
+            except OSError as exc:
+                raise ShardError(f"shard {i} replica {name}: {exc}") from exc
+            if crc != entry.get("manifest_crc32"):
+                # A replica that drifted from its primary could change
+                # answers depending on which copy serves a dispatch.
+                raise ShardError(
+                    f"shard {i} replica {name} is not identical to its "
+                    "primary (manifest checksum mismatch)"
+                )
+            try:
+                replicas.setdefault(i, []).append(
+                    open_snapshot(replica_dir, verify=verify)
+                )
+            except SnapshotError as exc:
+                raise ShardError(f"shard {i} replica {name}: {exc}") from exc
     merged = (
         np.concatenate([g for g in global_sids if len(g)])
         if any(len(g) for g in global_sids) else np.empty(0, dtype=np.int64)
@@ -492,7 +624,14 @@ def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
             "sid map is not a partition of the collection: "
             f"{len(merged)} mapped sids for {manifest['n_sets']} sets"
         )
-    return ShardedSnapshot(path, manifest, shards, global_sids)
+    try:
+        routing = load_routing(path, manifest, verify=verify)
+    except (OSError, KeyError, SnapshotError) as exc:
+        raise ShardError(f"unreadable routing summaries: {exc}") from exc
+    return ShardedSnapshot(
+        path, manifest, shards, global_sids,
+        routing=routing, replicas=replicas,
+    )
 
 
 def verify_sharded(path) -> dict:
@@ -515,6 +654,8 @@ def verify_sharded(path) -> dict:
         "n_arrays": arrays,
         "arrays_bytes": array_bytes,
         "tune": sharded.manifest["tune"],
+        "routing": sharded.routing is not None,
+        "n_replicas": sum(len(r) for r in sharded.replicas.values()),
     }
 
 
@@ -543,22 +684,59 @@ class ShardedExecutor:
     workload-tuned manifest answers remain exact-verified but the
     candidate funnel is per-shard.
 
+    ``route`` selects the shard-routing mode
+    (:mod:`repro.exec.route`), applied when the manifest carries
+    routing summaries and ``strategy`` resolves to the index path:
+
+    - ``"full"`` -- no routing; every shard gets every query.
+    - ``"safe"`` (default) -- every shard is still dispatched (probes
+      are unchanged, so candidates stay bit-identical to full
+      fan-out), but (query, shard) pairs whose sound Jaccard upper
+      bound falls below ``sigma_low`` skip fetch + exact verification.
+      Answers are bit-identical to full fan-out: a pruned pair
+      provably holds no in-range answer.
+    - ``"sketch"`` -- pruned pairs are dropped from the dispatch
+      itself (a shard with no surviving query is not contacted), and
+      the MinHash universe profile tightens the bound further.
+      Estimated, not proven: recall is measured in BENCH-ROUTE.
+
+    When a shard has replicas (:func:`replicate_shards`), each
+    dispatch picks one copy by power-of-two-choices on in-flight
+    counters; replicas are crc-verified identical, so the pick never
+    changes an answer, only which mmap serves it.
+
     Telemetry lands under ``metric_prefix`` (default ``"shard"``; the
     query server uses ``"serve.shard"``): per-shard batch-latency HDRs
-    and candidate counters, a routed-subqueries counter, and a skew
-    gauge (slowest/mean shard wall per batch).
+    and candidate counters, a routed-subqueries counter, a skew gauge
+    (slowest/mean shard wall per batch), ``route.*`` counters
+    (``subqueries_pruned``, ``shards_skipped``,
+    ``replica_dispatches``) and per-shard in-flight gauges.
     """
 
     def __init__(self, sharded: ShardedSnapshot, workers: int = 1,
-                 backend: str = "thread", metric_prefix: str = "shard"):
+                 backend: str = "thread", metric_prefix: str = "shard",
+                 route: str = "safe"):
         from concurrent.futures import ThreadPoolExecutor
 
         from repro.exec.parallel import ParallelExecutor
 
+        if route not in ("full", "safe", "sketch"):
+            raise ValueError(f"unknown route mode: {route!r}")
         self.sharded = sharded
         self.workers = workers
         self.backend = backend
         self.metric_prefix = metric_prefix
+        self.route = route
+        routing = getattr(sharded, "routing", None)
+        self._router = (
+            ShardRouter(routing)
+            if route != "full" and routing is not None else None
+        )
+        #: False when ``route`` asked for routing but the manifest has
+        #: no summaries (v1 builds) -- execution falls back to full
+        #: fan-out and ``exec_stats["route"]["active"]`` says so.
+        self.route_active = self._router is not None
+        self._closed = False
         self._live = sharded.live_shards
         self._executors = {
             i: ParallelExecutor(
@@ -567,6 +745,25 @@ class ShardedExecutor:
             )
             for i in self._live
         }
+        self._replica_execs = {
+            i: [self._executors[i]] + [
+                ParallelExecutor(
+                    rsnap, workers=workers, backend=backend, record=False
+                )
+                for rsnap in getattr(sharded, "replicas", {}).get(i, ())
+            ]
+            for i in self._live
+        }
+        self._inflight = {
+            i: [0] * len(execs) for i, execs in self._replica_execs.items()
+        }
+        self._dispatches = {
+            i: [0] * len(execs) for i, execs in self._replica_execs.items()
+        }
+        self._inflight_lock = threading.Lock()
+        # Seeded: replica picks (hence telemetry) reproduce run-to-run;
+        # answers never depend on the pick because copies are identical.
+        self._pick_rng = random.Random(0)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, len(self._live)),
             thread_name_prefix="repro-shard",
@@ -574,6 +771,15 @@ class ShardedExecutor:
         self._m_batches = metrics.counter(f"{metric_prefix}.batches")
         self._m_routed = metrics.counter(f"{metric_prefix}.routed_subqueries")
         self._m_skew = metrics.gauge(f"{metric_prefix}.wall_skew")
+        self._m_pruned = metrics.counter(
+            f"{metric_prefix}.route.subqueries_pruned"
+        )
+        self._m_skipped = metrics.counter(
+            f"{metric_prefix}.route.shards_skipped"
+        )
+        self._m_replica_dispatches = metrics.counter(
+            f"{metric_prefix}.route.replica_dispatches"
+        )
         self._m_latency = {
             i: metrics.hdr(f"{metric_prefix}.{i:02d}.batch_ms")
             for i in self._live
@@ -582,10 +788,16 @@ class ShardedExecutor:
             i: metrics.counter(f"{metric_prefix}.{i:02d}.candidates")
             for i in self._live
         }
+        self._m_inflight = {
+            i: metrics.gauge(f"{metric_prefix}.{i:02d}.in_flight")
+            for i in self._live
+        }
 
     def close(self) -> None:
-        for executor in self._executors.values():
-            executor.close()
+        self._closed = True
+        for execs in self._replica_execs.values():
+            for executor in execs:
+                executor.close()
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedExecutor":
@@ -607,6 +819,8 @@ class ShardedExecutor:
         ``strategy="auto"`` is resolved per shard (each shard weighs
         its own scan cost).
         """
+        if self._closed:
+            raise ShardError("sharded executor is closed")
         if not 0.0 <= sigma_low <= sigma_high <= 1.0:
             raise ValueError(
                 f"invalid similarity range [{sigma_low}, {sigma_high}]"
@@ -616,6 +830,17 @@ class ShardedExecutor:
         query_sets = [frozenset(q) for q in queries]
         n = len(query_sets)
         wall0 = time.perf_counter()
+        # Routing applies to the index path only: "scan" reads every
+        # heap page regardless, and "auto" may resolve to scan per
+        # shard, so both fan out in full.
+        decision = None
+        route_seconds = 0.0
+        if self._router is not None and strategy == "index" and self._live:
+            decision = self._router.route(
+                query_sets, sigma_low, self._live,
+                sketch=(self.route == "sketch"),
+            )
+            route_seconds = time.perf_counter() - wall0
         with trace.capture(
             "sharded_query_batch",
             force=explain,
@@ -624,22 +849,27 @@ class ShardedExecutor:
             workers=self.workers,
             backend=self.backend,
             strategy=strategy,
+            route=self.route,
             sigma_low=sigma_low,
             sigma_high=sigma_high,
             n_queries=n,
         ) as root:
             shard_batches = self._scatter(
-                query_sets, sigma_low, sigma_high, strategy, explain
+                query_sets, sigma_low, sigma_high, strategy, explain,
+                decision,
             )
             merge0 = time.perf_counter()
             batch = self._merge(shard_batches, n)
             merge_seconds = time.perf_counter() - merge0
             batch.trace = root
             batch.exec_stats = self._exec_stats(
-                shard_batches, strategy, wall0, merge_seconds
+                shard_batches, strategy, wall0, merge_seconds,
+                decision, route_seconds,
             )
+            if decision is not None:
+                batch.timings["route"] = route_seconds * 1e3
             if root is not None:
-                for i, (sbatch, _) in shard_batches.items():
+                for i, (sbatch, _, _) in shard_batches.items():
                     if sbatch.trace is not None:
                         sbatch.trace.set(shard=i)
                         root.children.append(sbatch.trace)
@@ -650,8 +880,14 @@ class ShardedExecutor:
                     fetches_saved=batch.fetches_saved,
                     merge_ms=round(merge_seconds * 1e3, 3),
                 )
+                if decision is not None:
+                    root.set(
+                        route_mode=decision.mode,
+                        route_pruned_subqueries=decision.pruned_pairs,
+                        route_skipped_shards=len(decision.skipped_shards()),
+                    )
         self._record(batch, shard_batches, n, wall0,
-                     sigma_low, sigma_high, strategy)
+                     sigma_low, sigma_high, strategy, decision)
         return batch
 
     def query(self, query, sigma_low: float, sigma_high: float,
@@ -673,21 +909,89 @@ class ShardedExecutor:
 
     # -- internals ---------------------------------------------------------
 
-    def _scatter(self, query_sets, sigma_low, sigma_high, strategy, explain):
-        """Fan the batch out; returns {shard index: (batch, seconds)}."""
+    def _scatter(self, query_sets, sigma_low, sigma_high, strategy, explain,
+                 decision=None):
+        """Fan the batch out; returns ``{shard: (batch, seconds, rows)}``
+        where ``rows`` lists the global query rows a sub-batch covers
+        (None = the whole batch, in order)."""
+        n = len(query_sets)
+        units: list[tuple] = []  # (shard, queries, rows, verify_rows)
+        for i in self._live:
+            if decision is None:
+                units.append((i, query_sets, None, None))
+            elif decision.mode == "sketch":
+                rows = decision.kept.get(i, [])
+                if not rows:
+                    continue  # shard not contacted at all
+                if len(rows) == n:
+                    units.append((i, query_sets, None, None))
+                else:
+                    units.append(
+                        (i, [query_sets[r] for r in rows], rows, None)
+                    )
+            else:  # safe: dispatch everything, mask pruned verifies
+                kept = decision.kept.get(i, [])
+                vrows = None if len(kept) == n else kept
+                units.append((i, query_sets, None, vrows))
 
-        def run(i: int):
+        def run(unit):
+            i, qs, rows, vrows = unit
+            executor, slot = self._acquire(i)
             t0 = time.perf_counter()
-            sbatch = self._executors[i].query_batch(
-                query_sets, sigma_low, sigma_high,
-                strategy=strategy, explain=explain,
-            )
-            return sbatch, time.perf_counter() - t0
+            try:
+                sbatch = executor.query_batch(
+                    qs, sigma_low, sigma_high,
+                    strategy=strategy, explain=explain, verify_rows=vrows,
+                )
+            except Exception as exc:
+                raise ShardError(f"shard {i} failed: {exc}") from exc
+            finally:
+                self._release(i, slot)
+            return i, (sbatch, time.perf_counter() - t0, rows)
 
-        futures = {
-            i: self._pool.submit(run, i) for i in self._live
-        }
-        return {i: future.result() for i, future in futures.items()}
+        if len(units) <= 1:
+            # Single dispatch (K=1 fleet, or routing left one shard):
+            # run inline and skip the scatter-pool thread hop.
+            return dict(run(unit) for unit in units)
+        futures = [self._pool.submit(run, unit) for unit in units]
+        return dict(future.result() for future in futures)
+
+    def _acquire(self, i: int):
+        """Pick a replica of shard ``i`` (power-of-two-choices on
+        in-flight counters) and mark it busy."""
+        execs = self._replica_execs[i]
+        slot = 0
+        with self._inflight_lock:
+            if len(execs) > 1:
+                # In-flight ties (every dispatch, in a sequential
+                # caller) fall back to total dispatch count, so load
+                # stays balanced even without concurrency.
+                a, b = self._pick_rng.sample(range(len(execs)), 2)
+                slot = min(a, b, key=lambda s: (
+                    self._inflight[i][s], self._dispatches[i][s]
+                ))
+            self._inflight[i][slot] += 1
+            self._dispatches[i][slot] += 1
+            busy = sum(self._inflight[i])
+        if len(execs) > 1:
+            self._m_replica_dispatches.inc()
+        self._m_inflight[i].set(busy)
+        return execs[slot], slot
+
+    def _release(self, i: int, slot: int) -> None:
+        with self._inflight_lock:
+            self._inflight[i][slot] -= 1
+            busy = sum(self._inflight[i])
+        self._m_inflight[i].set(busy)
+
+    def replica_dispatch_counts(self) -> dict:
+        """Per-replica dispatch counts of replicated shards (slot 0 is
+        the primary) -- the load-balance evidence BENCH-ROUTE reports."""
+        with self._inflight_lock:
+            return {
+                i: list(self._dispatches[i])
+                for i in self._live if len(self._replica_execs[i]) > 1
+            }
 
     def _merge(self, shard_batches, n: int) -> BatchQueryResult:
         """Deterministic merge; see the class docstring for semantics."""
@@ -697,9 +1001,10 @@ class ShardedExecutor:
         pages_saved = 0
         fetches_saved = 0
         timings: dict[str, float] = {}
-        for i, (sbatch, _) in sorted(shard_batches.items()):
+        for i, (sbatch, _, rows) in sorted(shard_batches.items()):
             gsids = self.sharded.global_sids[i]
-            for q, result in enumerate(sbatch.results):
+            row_of = rows if rows is not None else range(len(sbatch.results))
+            for q, result in zip(row_of, sbatch.results):
                 if result.answers:
                     merged_answers[q].extend(
                         (int(gsids[sid]), sim) for sid, sim in result.answers
@@ -742,17 +1047,21 @@ class ShardedExecutor:
         batch.timings = timings
         return batch
 
-    def _exec_stats(self, shard_batches, strategy, wall0, merge_seconds):
-        shard_walls = {
-            i: seconds for i, (_, seconds) in sorted(shard_batches.items())
-        }
+    def _exec_stats(self, shard_batches, strategy, wall0, merge_seconds,
+                    decision=None, route_seconds=0.0):
+        # Live shards routing skipped entirely report a 0.0 wall: the
+        # fleet did no work for them this batch.
+        shard_walls = {i: 0.0 for i in self._live}
+        shard_walls.update({
+            i: seconds for i, (_, seconds, _) in sorted(shard_batches.items())
+        })
         stage_seconds: dict[str, float] = {}
-        for _, (sbatch, _) in sorted(shard_batches.items()):
+        for _, (sbatch, _, _) in sorted(shard_batches.items()):
             for stage, seconds in (
                 (sbatch.exec_stats or {}).get("stage_seconds", {}).items()
             ):
                 stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
-        return {
+        stats = {
             "sharded": True,
             "n_shards": self.sharded.n_shards,
             "live_shards": len(self._live),
@@ -761,7 +1070,7 @@ class ShardedExecutor:
             "strategy": strategy,
             "wall_seconds": time.perf_counter() - wall0,
             "merge_seconds": merge_seconds,
-            "shard_wall_seconds": shard_walls,
+            "shard_wall_seconds": dict(sorted(shard_walls.items())),
             "stage_seconds": stage_seconds,
             "shards": {
                 i: {
@@ -769,22 +1078,37 @@ class ShardedExecutor:
                     "n_candidates": sbatch.n_candidates,
                     "n_verified": sbatch.n_verified,
                 }
-                for i, (sbatch, _) in sorted(shard_batches.items())
+                for i, (sbatch, _, _) in sorted(shard_batches.items())
             },
         }
+        stats["route"] = {
+            "mode": self.route,
+            "active": decision is not None,
+            "route_seconds": route_seconds,
+            "subqueries_pruned": decision.pruned_pairs if decision else 0,
+            "shards_skipped": len(self._live) - len(shard_batches),
+            "replicas": self.replica_dispatch_counts(),
+        }
+        return stats
 
     def _record(self, batch, shard_batches, n, wall0,
-                sigma_low, sigma_high, strategy) -> None:
+                sigma_low, sigma_high, strategy, decision=None) -> None:
         """One merged telemetry record per sharded batch (the per-shard
         executors ran with ``record=False``), plus the ``metric_prefix``
         fleet instruments."""
         walls = []
-        for i, (sbatch, seconds) in shard_batches.items():
+        dispatched_subqueries = 0
+        for i, (sbatch, seconds, rows) in shard_batches.items():
             self._m_latency[i].observe(seconds * 1e3)
             self._m_candidates[i].inc(sbatch.n_candidates)
             walls.append(seconds)
+            dispatched_subqueries += len(rows) if rows is not None else n
         self._m_batches.inc()
-        self._m_routed.inc(n * len(self._live))
+        self._m_routed.inc(dispatched_subqueries)
+        n_skipped = len(self._live) - len(shard_batches)
+        if decision is not None:
+            self._m_pruned.inc(decision.pruned_pairs)
+            self._m_skipped.inc(n_skipped)
         if walls:
             mean = sum(walls) / len(walls)
             self._m_skew.set(max(walls) / mean if mean > 0 else 1.0)
@@ -803,6 +1127,14 @@ class ShardedExecutor:
         per_query = metrics.histogram("query.candidates_per_query")
         for result in batch.results:
             per_query.observe(result.n_candidates)
+        event_timings = dict(batch.timings or {})
+        if decision is not None:
+            # Routing decisions ride the event's free-form timings
+            # payload (the schema's fixed fields stay fixed).
+            event_timings["route_pruned_subqueries"] = float(
+                decision.pruned_pairs
+            )
+            event_timings["route_skipped_shards"] = float(n_skipped)
         events.record_query(
             "sharded_query_batch",
             latency_ms=(time.perf_counter() - wall0) * 1e3,
@@ -817,7 +1149,7 @@ class ShardedExecutor:
             strategy=strategy,
             sigma_low=sigma_low,
             sigma_high=sigma_high,
-            timings=batch.timings,
+            timings=event_timings,
         )
 
     def __repr__(self) -> str:

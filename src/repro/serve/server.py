@@ -83,6 +83,7 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     max_pending: int = 1024
     adaptive: bool = True
+    route: str = "safe"  # shard routing mode (sharded snapshots only)
     max_line_bytes: int = protocol.MAX_LINE_BYTES
     drain_grace_s: float = 5.0
 
@@ -140,7 +141,7 @@ class QueryServer:
             # routing counters, wall-skew gauge).
             self._executor = ShardedExecutor(
                 snapshot, workers=cfg.workers, backend=cfg.backend,
-                metric_prefix="serve.shard",
+                metric_prefix="serve.shard", route=cfg.route,
             )
         elif cfg.backend == "process":
             self._executor = ParallelExecutor(
@@ -425,6 +426,11 @@ class QueryServer:
                 "n_shards": self.snapshot.n_shards,
                 "live_shards": len(self.snapshot.live_shards),
                 "tune": self.snapshot.manifest["tune"],
+                "route": self.config.route,
+                "routing_summaries": self.snapshot.routing is not None,
+                "n_replicas": sum(
+                    len(r) for r in self.snapshot.replicas.values()
+                ),
             }
         return {
             "n_sets": self.snapshot.n_sets,
