@@ -113,11 +113,13 @@ def cmd_build(args: argparse.Namespace) -> int:
         sample_pairs=args.sample_pairs,
         workers=args.workers,
         explain=args.explain,
+        codec=args.codec,
     )
     index.save(args.output)
     plan = index.plan
     print(
         f"indexed {index.n_sets} sets -> {args.output}\n"
+        f"codec: {index.embedder.codec} (D={index.embedder.dimension} bits)\n"
         f"plan: {plan.n_intervals} intervals, {plan.tables_used} hash tables, "
         f"expected recall {plan.expected_recall:.3f} "
         f"(target {'met' if plan.met_target else 'NOT met'})"
@@ -345,7 +347,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
     plan = index.plan
     print(f"sets indexed:      {index.n_sets}")
     print(f"embedding:         k={index.embedder.k}, b={index.embedder.b}, "
+          f"codec={getattr(index.embedder, 'codec', 'full64')}, "
           f"D={index.embedder.dimension} bits")
+    sig_bytes = sum(v.nbytes for v in index._vectors.values())
+    verify_bytes = sum(a.nbytes for a in index._chashes.values())
+    n_live = max(1, index.n_sets)
+    print(f"bytes:             signatures {sig_bytes:,} "
+          f"({sig_bytes / n_live:.1f}/set), "
+          f"verify arrays {verify_bytes:,} ({verify_bytes / n_live:.1f}/set)")
     print(f"similarity cuts:   {[round(c, 3) for c in plan.cut_points]}")
     print(f"hash tables used:  {plan.tables_used}")
     print(f"expected recall:   {plan.expected_recall:.3f}")
@@ -385,6 +394,7 @@ def _shard_stats(path: str) -> int:
           f"({len(sharded.live_shards)} live)")
     print(f"partition:         {m['partition']['method']} "
           f"(seed {m['partition']['seed']}); tuning: {m['tune']}")
+    print(f"codec:             {m.get('build', {}).get('codec', 'full64')}")
     gp = m["global_plan"]
     print(f"global budget:     {m['build']['budget']} tables "
           f"({gp['tables_used']} used by the global plan, "
@@ -392,7 +402,8 @@ def _shard_stats(path: str) -> int:
     routing = m.get("routing")
     if routing:
         print(f"routing:           {routing['m_bits']}-bit universe sketches, "
-              f"{routing['sig_k']}-coordinate minhash profiles")
+              f"{routing['sig_k']}-coordinate "
+              f"{routing.get('sig_scheme', 'minhash')} profiles")
     else:
         print("routing:           none (rebuild to add summaries)")
     print("per-shard occupancy:")
@@ -507,7 +518,17 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
         print(f"format:            {m['format']} v{m['version']}")
         print(f"sets:              {m['n_sets']} (elements as {m['sets_encoding']})")
         print(f"arrays:            {len(m['arrays'])} mapped, {m['arrays_bytes']:,} bytes")
+        print(f"codec:             {m.get('codec', 'full64')}")
         print(f"embedding bits:    D={m['n_bits']}")
+        from repro.exec.snapfile import byte_breakdown
+
+        bb = byte_breakdown(m)
+        g = bb["groups"]
+        print(f"byte breakdown:    signatures {g['signatures']:,} | "
+              f"verify CSR {g['verify_csr']:,} | "
+              f"buckets {g['buckets']:,} | other {g['other']:,}")
+        print(f"bytes per set:     {bb['bytes_per_set']:.1f} total, "
+              f"{bb['signature_bytes_per_set']:.1f} signatures")
         print(f"scan pages:        {m['scan_pages']}")
         print(f"cost model:        seq={cost['seq_cost']}, "
               f"random={cost['random_cost']}, cpu={cost['cpu_cost']}")
@@ -570,6 +591,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
             workload=workload,
             workload_range=(args.workload_low, args.workload_high),
             workers=args.workers,
+            codec=args.codec,
         )
         live = sum(1 for e in manifest["shards"] if not e.get("empty"))
         print(
@@ -589,7 +611,8 @@ def cmd_shard(args: argparse.Namespace) -> int:
             routing = manifest["routing"]
             print(
                 f"  routing: {routing['m_bits']}-bit universe sketches + "
-                f"{routing['sig_k']}-coordinate minhash profiles per shard"
+                f"{routing['sig_k']}-coordinate "
+                f"{routing.get('sig_scheme', 'minhash')} profiles per shard"
             )
         return 0
     if args.shard_command == "replicate":
@@ -839,6 +862,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--recall", type=float, default=0.9, help="recall target")
     p_build.add_argument("--k", type=int, default=100, help="min-hash signature length")
     p_build.add_argument("--bits", type=int, default=6, help="bits per min-hash value")
+    p_build.add_argument(
+        "--codec", default="full64",
+        help="signature codec: full64 (default, bit-identical to prior "
+             "builds), bbit:1|2|4|8 (b-bit minwise packing), superminhash, "
+             "or combinations like superminhash+bbit:2",
+    )
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument("--sample-pairs", type=int, default=100_000)
     p_build.add_argument(
@@ -1023,6 +1052,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard_build.add_argument("--recall", type=float, default=0.9)
     p_shard_build.add_argument("--k", type=int, default=100)
     p_shard_build.add_argument("--bits", type=int, default=6)
+    p_shard_build.add_argument(
+        "--codec", default="full64",
+        help="signature codec (see `build --codec`); applied to every shard",
+    )
     p_shard_build.add_argument("--seed", type=int, default=0)
     p_shard_build.add_argument("--sample-pairs", type=int, default=100_000)
     p_shard_build.add_argument(

@@ -14,6 +14,7 @@ Pipeline (Sections 3-5):
 * :mod:`repro.core.metrics` -- precision/recall scoring.
 """
 
+from repro.core.codec import BBitPacker, CodecError, CodecSpec, parse_codec
 from repro.core.distribution import SimilarityDistribution
 from repro.core.ecc import HadamardCode
 from repro.core.embedding import SetEmbedder, hamming_to_jaccard, jaccard_to_hamming
@@ -21,7 +22,7 @@ from repro.core.filter_function import FilterFunction, filter_probability, solve
 from repro.core.filter_index import DissimilarityFilterIndex, SimilarityFilterIndex
 from repro.core.index import QueryResult, SetSimilarityIndex
 from repro.core.metrics import QueryQuality, evaluate_query
-from repro.core.minhash import MinHasher
+from repro.core.minhash import MinHasher, SuperMinHasher
 from repro.core.optimizer import (
     DFI,
     SFI,
@@ -56,10 +57,15 @@ from repro.core.weighted import (
 )
 
 __all__ = [
+    "BBitPacker",
+    "CodecError",
+    "CodecSpec",
     "DFI",
     "SFI",
     "CaptureModel",
     "DissimilarityFilterIndex",
+    "SuperMinHasher",
+    "parse_codec",
     "RangeStats",
     "average_precision",
     "average_recall",

@@ -269,11 +269,15 @@ class SetSimilarityIndex:
         max_per_filter: int | None = None,
         workers: int = 1,
         explain: bool = False,
+        codec: str = "full64",
     ) -> "SetSimilarityIndex":
+        from repro.core.codec import parse_codec
+
+        spec = parse_codec(codec)
         sets = [frozenset(s) for s in sets]
         logger.info(
-            "building index: %d sets, budget=%d, recall_target=%.2f, k=%d, b=%d",
-            len(sets), budget, recall_target, k, b,
+            "building index: %d sets, budget=%d, recall_target=%.2f, k=%d, b=%d, codec=%s",
+            len(sets), budget, recall_target, k, b, spec.name,
         )
         io = io if io is not None else IOCostModel()
         with trace.capture(
@@ -291,11 +295,14 @@ class SetSimilarityIndex:
             dist_seconds = time.perf_counter() - t0
             t0 = time.perf_counter()
             with trace.span("plan_index", budget=budget):
+                # b-bit packing has exact per-bit agreement (1+s)/2, so
+                # its error curves use the uncorrected Theorem-1 form;
+                # full64 keeps the Hadamard collision bias.
                 plan = plan_index(
                     dist,
                     budget,
                     recall_target=recall_target,
-                    b=b,
+                    b=spec.bias_bits(b),
                     max_intervals=max_intervals,
                     allocator=allocator,
                     max_per_filter=max_per_filter,
@@ -306,7 +313,8 @@ class SetSimilarityIndex:
                 plan.n_intervals, plan.tables_used, plan.expected_recall,
             )
             index = cls.from_plan(
-                sets, plan, dist, k=k, b=b, seed=seed, io=io, workers=workers
+                sets, plan, dist, k=k, b=b, seed=seed, io=io, workers=workers,
+                codec=codec,
             )
         if index.build_report is not None:
             index.build_report["phases"] = {
@@ -331,6 +339,7 @@ class SetSimilarityIndex:
         workers: int = 1,
         explain: bool = False,
         build_method: str = "bulk",
+        codec: str = "full64",
     ) -> "SetSimilarityIndex":
         """Materialize an index from an explicit plan.
 
@@ -354,7 +363,7 @@ class SetSimilarityIndex:
         io = io if io is not None else IOCostModel()
         pager = PageManager(io)
         store = SetStore(pager)
-        embedder = SetEmbedder(k=k, b=b, seed=seed)
+        embedder = SetEmbedder(k=k, b=b, seed=seed, codec=codec)
         index = cls(embedder, plan, distribution, pager, store)
         with trace.capture(
             "build_index",
@@ -411,7 +420,7 @@ class SetSimilarityIndex:
         for offset, planned in enumerate(self.plan.filters):
             if planned.n_tables <= 0:
                 continue
-            threshold = planned.hamming_threshold(self.embedder.b)
+            threshold = planned.hamming_threshold(self.embedder.bias_bits)
             args = dict(
                 n_tables=planned.n_tables,
                 n_bits=n_bits,
@@ -1092,8 +1101,6 @@ class SetSimilarityIndex:
         computed over, and each query's offset into the flat array.
         Wall-clock work only -- never accounted as simulated CPU.
         """
-        from repro.hamming.distance import hamming_distance_pairs
-
         row_of = {i: row for row, i in enumerate(rows)}
         cand_lists: list[list[int] | None] = [None] * len(candidates_list)
         pair_vals: np.ndarray | None = None
@@ -1116,16 +1123,11 @@ class SetSimilarityIndex:
                 offsets.append(offset)
                 offset += len(cand_list)
             if q_rows:
-                dists = hamming_distance_pairs(
+                # Codec-calibrated similarity estimate: full64 inverts
+                # Theorem 1 with the fixed-precision collision bias,
+                # b-bit applies the Li & Koenig slot correction.
+                pair_vals = self.embedder.estimate_pairs(
                     matrix[q_rows], cand_matrix[c_cols]
-                )
-                sims = 1.0 - dists / self.embedder.dimension
-                # Vectorized hamming_to_jaccard (with the embedding
-                # module's fixed-precision collision-bias correction).
-                collide = 2.0 ** (-self.embedder.b)
-                pair_vals = np.clip(
-                    (2.0 * sims - 1.0 - collide) / (1.0 - collide),
-                    0.0, 1.0,
                 )
         return pair_vals, cand_lists, offsets
 
@@ -1320,6 +1322,7 @@ class SetSimilarityIndex:
         return (
             f"SetSimilarityIndex(n_sets={self.n_sets}, "
             f"k={self.embedder.k}, b={self.embedder.b}, "
+            f"codec={self.embedder.codec!r}, "
             f"intervals={self.plan.n_intervals}, "
             f"tables={self.plan.tables_used})"
         )

@@ -159,3 +159,145 @@ class MinHasher:
 
     def __repr__(self) -> str:
         return f"MinHasher(k={self.k}, seed={self.seed})"
+
+
+_SPLITMIX_GOLDEN = 0x9E3779B97F4A7C15
+_U64_MASK = (1 << 64) - 1
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (third twin; see exec.route/shard)."""
+    x = np.array(values, dtype=np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class SuperMinHasher:
+    """SuperMinHash (Ertl, arXiv:1706.05698): lower-variance signatures.
+
+    A drop-in alternative generator with the same interface as
+    :class:`MinHasher`.  Where MinHash draws ``k`` independent uniform
+    values per element (variance ``s(1-s)/k`` for the agreement
+    estimator), SuperMinHash draws, per element, one uniform value
+    ``j + r_j`` per *permutation step* ``j`` and scatters it into slot
+    ``p[j]`` of a per-element Fisher-Yates permutation ``p`` of
+    ``0..k-1``.  The joint structure makes slot values negatively
+    correlated, cutting estimator variance by up to 2x for sets whose
+    size is comparable to ``k`` -- with unchanged collision semantics:
+
+        Pr[ slot_i(A) == slot_i(B) ] = sim(A, B).
+
+    Values are quantized to uint64 as ``(j << 32) | floor(r_j * 2**32)``
+    -- numeric order equals the algorithm's lexicographic ``(j, r)``
+    order, so per-set minima are plain uint64 minima and any packing
+    codec consumes the values unchanged (``full64`` reduces them mod
+    ``2**b``; ``bbit`` keeps the low bits -- both land in the uniform
+    fractional part).
+
+    All randomness is counter-based splitmix64 keyed by the stable
+    element hash and the seed, so signatures are deterministic across
+    runs and processes, exactly like :class:`MinHasher`.
+    """
+
+    def __init__(self, k: int = 100, seed: int = 0):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.seed = seed
+        self._seed_key = _mix64(
+            np.uint64((seed * _SPLITMIX_GOLDEN + 1) & _U64_MASK)
+        )
+
+    def hash_elements(self, elements: Iterable) -> np.ndarray:
+        """Stable full-width 64-bit element hashes."""
+        return np.fromiter(
+            (stable_element_hash(e) for e in elements), dtype=np.uint64
+        )
+
+    def _element_values(self, hashed: np.ndarray) -> np.ndarray:
+        """Per-element SuperMinHash value vectors, shape ``(n, k)``.
+
+        Row ``e`` is the length-``k`` value vector of element ``e``:
+        slot ``p_e[j]`` holds ``(j << 32) | r32`` where ``p_e`` is the
+        element's Fisher-Yates permutation and ``r32`` its step-``j``
+        uniform draw.  Each slot is written exactly once per element
+        (``p_e`` is a permutation), so no per-element minima are
+        needed; cross-element minima happen in the callers.
+        """
+        n = hashed.shape[0]
+        k = self.k
+        base = _mix64(hashed ^ self._seed_key)
+        perm = np.tile(np.arange(k, dtype=np.int64), (n, 1))
+        vals = np.empty((n, k), dtype=np.uint64)
+        rows = np.arange(n)
+        for j in range(k):
+            z_r = _mix64(base + np.uint64(((2 * j + 1) * _SPLITMIX_GOLDEN) & _U64_MASK))
+            z_k = _mix64(base + np.uint64(((2 * j + 2) * _SPLITMIX_GOLDEN) & _U64_MASK))
+            r32 = z_r >> np.uint64(32)
+            # Fisher-Yates: swap perm[j] with perm[idx], idx uniform in
+            # [j, k).  (Modulo bias is O(k / 2**64) -- negligible.)
+            idx = j + (z_k % np.uint64(k - j)).astype(np.int64)
+            p_idx = perm[rows, idx]
+            perm[rows, idx] = perm[:, j]
+            perm[:, j] = p_idx
+            vals[rows, p_idx] = (np.uint64(j) << np.uint64(32)) | r32
+        return vals
+
+    def signature(self, elements: Iterable) -> np.ndarray:
+        """SuperMinHash signature of a set, shape ``(k,)`` of uint64."""
+        hashed = self.hash_elements(elements)
+        if hashed.size == 0:
+            raise ValueError("cannot compute a min-hash signature of the empty set")
+        return self._element_values(np.unique(hashed)).min(axis=0)
+
+    def signature_matrix(
+        self, sets: Iterable[Iterable], chunk_elements: int = 1 << 18
+    ) -> np.ndarray:
+        """Signatures of many sets stacked into shape ``(N, k)``.
+
+        Mirrors :meth:`MinHasher.signature_matrix`: distinct elements
+        of a chunk are hashed (and their value vectors computed) once,
+        gathered per occurrence, and reduced per set segment with
+        ``np.minimum.reduceat``.  Bit-identical to per-set
+        :meth:`signature` calls.
+        """
+        sets = [s if hasattr(s, "__len__") else tuple(s) for s in sets]
+        n = len(sets)
+        out = np.empty((n, self.k), dtype=np.uint64)
+        start = 0
+        while start < n:
+            stop, total = start, 0
+            while stop < n and (stop == start or total + len(sets[stop]) <= chunk_elements):
+                total += len(sets[stop])
+                stop += 1
+            chunk = sets[start:stop]
+            counts = np.array([len(s) for s in chunk], dtype=np.int64)
+            if np.any(counts == 0):
+                raise ValueError("cannot compute a min-hash signature of the empty set")
+            positions: dict = {}
+            order: list = []
+            indices = np.empty(total, dtype=np.int64)
+            j = 0
+            for s in chunk:
+                for element in s:
+                    idx = positions.get(element)
+                    if idx is None:
+                        idx = positions[element] = len(order)
+                        order.append(element)
+                    indices[j] = idx
+                    j += 1
+            values = self._element_values(self.hash_elements(order))[indices]
+            offsets = np.zeros(len(chunk), dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            out[start:stop] = np.minimum.reduceat(values, offsets, axis=0)
+            start = stop
+        return out
+
+    estimate_similarity = staticmethod(MinHasher.estimate_similarity)
+
+    def __repr__(self) -> str:
+        return f"SuperMinHasher(k={self.k}, seed={self.seed})"

@@ -58,7 +58,6 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.minhash import MinHasher
 from repro.exec.columnar import element_hash
 
 #: Per-shard routing summaries (bitset words + universe signatures),
@@ -148,17 +147,29 @@ class RoutingInfo:
     sig_k: int
     sig_seed: int
     summaries: list  # ShardSummary | None per shard (None = empty shard)
+    #: Signature generator of the universe profiles ("minhash" or
+    #: "superminhash") -- the index codec's generator, so sketch-mode
+    #: agreement estimates share the builder's variance profile.
+    #: Pre-v3 manifests omit the key and default to "minhash".
+    sig_scheme: str = "minhash"
 
 
 def build_routing(
-    shard_sets, seed: int = 0, sig_k: int = DEFAULT_SIG_K
+    shard_sets, seed: int = 0, sig_k: int = DEFAULT_SIG_K,
+    sig_scheme: str = "minhash",
 ) -> tuple[dict, dict]:
     """Compute routing summaries for a partitioned collection.
 
     Returns ``(meta, arrays)``: the JSON-safe manifest block (sans
     array specs -- the caller persists ``arrays`` via ``write_arrays``
     and attaches the specs) and the uint64 arrays for ``routing.bin``.
+
+    ``sig_scheme`` picks the universe-profile generator; sharded
+    builds pass their codec's generator so the router's sketch
+    estimates reuse the same signature scheme as the index.
     """
+    from repro.core.codec import make_hasher
+
     shard_sets = [
         [s if isinstance(s, frozenset) else frozenset(s) for s in ss]
         for ss in shard_sets
@@ -168,7 +179,7 @@ def build_routing(
     ]
     m_bits = _pick_bits(max((len(u) for u in universes), default=0))
     sig_seed = seed + SIG_SEED_OFFSET
-    hasher = MinHasher(k=sig_k, seed=sig_seed)
+    hasher = make_hasher(sig_scheme, sig_k, sig_seed)
     arrays: dict[str, np.ndarray] = {}
     entries: list[dict | None] = []
     for i, (ss, universe) in enumerate(zip(shard_sets, universes)):
@@ -191,6 +202,7 @@ def build_routing(
         "m_bits": m_bits,
         "sig_k": sig_k,
         "sig_seed": sig_seed,
+        "sig_scheme": sig_scheme,
         "shards": entries,
     }
     return meta, arrays
@@ -238,6 +250,7 @@ def load_routing(path, manifest: dict, verify: bool = False):
         sig_k=int(meta["sig_k"]),
         sig_seed=int(meta["sig_seed"]),
         summaries=summaries,
+        sig_scheme=meta.get("sig_scheme", "minhash"),
     )
 
 
@@ -269,8 +282,12 @@ class ShardRouter:
     """
 
     def __init__(self, routing: RoutingInfo):
+        from repro.core.codec import make_hasher
+
         self.routing = routing
-        self._hasher = MinHasher(k=routing.sig_k, seed=routing.sig_seed)
+        self._hasher = make_hasher(
+            routing.sig_scheme, routing.sig_k, routing.sig_seed
+        )
 
     def route(
         self, query_sets, sigma_low: float, shard_ids, sketch: bool = False

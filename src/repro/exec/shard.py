@@ -77,8 +77,11 @@ SIDMAP_FILE = "sidmap.bin"
 FORMAT_NAME = "repro-ssi-shards"
 #: v2 adds the optional ``routing`` block and per-shard ``replicas``
 #: lists; v1 manifests still open (routing falls back to full fan-out).
-FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: v3 adds the signature ``codec`` to the ``build`` block (and
+#: ``sig_scheme`` to routing metadata); earlier manifests predate
+#: codecs and open as ``full64``.
+FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: splitmix64 increment, used to fold the partition seed into set
 #: fingerprints so different seeds give different (but each stable)
@@ -166,20 +169,19 @@ def estimate_workload_weights(
     k: int = 32,
     b: int = 6,
     seed: int = 0,
+    codec: str = "full64",
 ) -> list[float]:
     """Per-shard answer-mass estimate for a query workload.
 
     Embeds the collection and the workload's query sets once (the same
-    minhash+ECC embedding the index uses), estimates every
-    (query, set) Jaccard similarity from Hamming distance, and counts,
-    per shard, the pairs estimated to fall in ``[sigma_low,
-    sigma_high]`` -- the answer mass the workload routes to that
-    shard.  Laplace-smoothed so no shard weighs zero (every shard
-    still needs a sane floor of tables for the queries that do reach
-    it).
+    codec and embedding the index uses), estimates every (query, set)
+    Jaccard similarity from the packed vectors, and counts, per shard,
+    the pairs estimated to fall in ``[sigma_low, sigma_high]`` -- the
+    answer mass the workload routes to that shard.  Laplace-smoothed
+    so no shard weighs zero (every shard still needs a sane floor of
+    tables for the queries that do reach it).
     """
     from repro.core.embedding import SetEmbedder
-    from repro.hamming.distance import hamming_distance_many
 
     sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
     queries = [frozenset(q) for q in workload]
@@ -187,16 +189,13 @@ def estimate_workload_weights(
     live = [i for i, s in enumerate(sets) if s]
     live_queries = [q for q in queries if q]
     if live and live_queries:
-        embedder = SetEmbedder(k=k, b=b, seed=seed)
+        embedder = SetEmbedder(k=k, b=b, seed=seed, codec=codec)
         matrix = embedder.embed_many([sets[i] for i in live])
-        n_bits = embedder.dimension
-        collide = 2.0 ** (-b)
         shard_of = np.asarray(assignment, dtype=np.int64)[live]
         for q in live_queries:
-            qvec = embedder.embed(q)
-            s_h = 1.0 - hamming_distance_many(matrix, qvec) / n_bits
-            # hamming_to_jaccard, vectorized over the collection.
-            sims = np.clip((2.0 * s_h - 1.0 - collide) / (1.0 - collide), 0.0, 1.0)
+            # Codec-calibrated hamming_to_jaccard, vectorized over the
+            # collection.
+            sims = embedder.estimate_many(matrix, embedder.embed(q))
             hit = (sims >= sigma_low) & (sims <= sigma_high)
             np.add.at(counts, shard_of[hit], 1.0)
     total = float(counts.sum())
@@ -224,6 +223,7 @@ def build_sharded(
     plan=None,
     dist=None,
     routing: bool = True,
+    codec: str = "full64",
 ) -> dict:
     """Partition, build and persist a K-shard index under ``out``.
 
@@ -247,10 +247,13 @@ def build_sharded(
         evaluate_ranges,
         plan_index,
     )
+    from repro.core.codec import parse_codec
     from repro.exec.snapfile import MANIFEST_FILE, save_snapshot, write_arrays
 
     if tune not in ("mirror", "workload"):
         raise ValueError(f"unknown tune mode: {tune!r}")
+    spec = parse_codec(codec)
+    plan_b = spec.bias_bits(b)
     sets = [s if isinstance(s, frozenset) else frozenset(s) for s in sets]
     out = Path(out)
     out.mkdir(parents=True, exist_ok=True)
@@ -260,7 +263,7 @@ def build_sharded(
             sets, sample_pairs=sample_pairs, seed=seed
         )
     if plan is None:
-        plan = plan_index(dist, budget, recall_target=recall_target, b=b)
+        plan = plan_index(dist, budget, recall_target=recall_target, b=plan_b)
     assignment = partition_sets(sets, n_shards, method=partition, seed=seed)
     shard_sets: list[list[frozenset]] = [[] for _ in range(n_shards)]
     shard_gsids: list[list[int]] = [[] for _ in range(n_shards)]
@@ -278,7 +281,7 @@ def build_sharded(
         if workload:
             weights = estimate_workload_weights(
                 sets, assignment, n_shards, workload, *workload_range,
-                k=min(k, 32), b=b, seed=seed,
+                k=min(k, 32), b=b, seed=seed, codec=codec,
             )
         else:
             n_total = max(1, len(sets))
@@ -288,11 +291,11 @@ def build_sharded(
             for _ in range(n_shards)
         ]
         allocate_global_budget(
-            shard_filters, budget, shard_dists, weights, b=b
+            shard_filters, budget, shard_dists, weights, b=plan_b
         )
         plans = []
         for filters, sdist in zip(shard_filters, shard_dists):
-            stats = evaluate_ranges(plan.cut_points, filters, sdist, b)
+            stats = evaluate_ranges(plan.cut_points, filters, sdist, plan_b)
             recall = average_recall(stats)
             plans.append(IndexPlan(
                 cut_points=list(plan.cut_points),
@@ -331,7 +334,7 @@ def build_sharded(
             continue
         index = SetSimilarityIndex.from_plan(
             shard_sets[i], plans[i], shard_dists[i],
-            k=k, b=b, seed=seed, workers=workers,
+            k=k, b=b, seed=seed, workers=workers, codec=codec,
         )
         shard_dir = out / entry["dir"]
         save_snapshot(index.freeze(), shard_dir)
@@ -342,7 +345,9 @@ def build_sharded(
 
     routing_meta = None
     if routing:
-        routing_meta, routing_arrays = build_routing(shard_sets, seed=seed)
+        routing_meta, routing_arrays = build_routing(
+            shard_sets, seed=seed, sig_scheme=spec.generator
+        )
         routing_meta["arrays"] = (
             write_arrays(out / ROUTING_FILE, routing_arrays)
             if routing_arrays else {}
@@ -362,6 +367,7 @@ def build_sharded(
         "build": {
             "budget": budget, "recall_target": recall_target,
             "k": k, "b": b, "seed": seed, "sample_pairs": sample_pairs,
+            "codec": spec.name,
         },
         "global_plan": {
             "cut_points": list(plan.cut_points),
@@ -443,6 +449,7 @@ def replicate_shards(
             sets, assignment, sharded.n_shards, workload, *workload_range,
             k=min(int(build.get("k", 32)), 32), b=int(build.get("b", 6)),
             seed=int(build.get("seed", 0)),
+            codec=build.get("codec", "full64"),
         )
         for entry, weight in zip(entries, weights):
             entry["weight"] = round(float(weight), 6)
@@ -548,6 +555,19 @@ def open_sharded(path, verify: bool = False) -> "ShardedSnapshot":
         raise ShardError(
             f"unsupported shard-manifest version {manifest.get('version')!r}"
         )
+    # Pre-v3 manifests predate the codec layer (full64 by construction);
+    # an unknown tag fails loudly with the snapshot layer's typed error
+    # before any shard bytes are interpreted.
+    from repro.core.codec import CodecError, parse_codec
+    from repro.exec.snapfile import SnapshotFormatError
+
+    codec_tag = manifest.get("build", {}).get("codec", "full64")
+    try:
+        parse_codec(codec_tag)
+    except CodecError as exc:
+        raise SnapshotFormatError(
+            f"{path} uses unsupported signature codec {codec_tag!r}: {exc}"
+        ) from exc
     n_shards = int(manifest["n_shards"])
     entries = manifest["shards"]
     if len(entries) != n_shards:

@@ -52,6 +52,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.codec import CodecError, parse_codec
 from repro.core.filter_index import FrozenFilterProbe
 from repro.exec.snapshot import IndexSnapshot
 from repro.obs import metrics, trace
@@ -59,7 +60,11 @@ from repro.storage.hashtable import hash_key
 from repro.storage.iomodel import IOCostModel
 
 FORMAT_NAME = "repro-ssi-snapshot"
-FORMAT_VERSION = 1
+#: v1: original layout.  v2: adds the ``codec`` manifest key (signature
+#: codec of the vector matrix); v1 snapshots predate codecs and open as
+#: ``full64``, which is bit-identical to the v1 layout.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 #: Byte alignment of every array in ``arrays.bin`` (cache-line sized,
 #: and a multiple of every dtype's itemsize so views never misalign).
@@ -502,6 +507,7 @@ def save_snapshot(snapshot: IndexSnapshot, path) -> Path:
         manifest = {
             "format": FORMAT_NAME,
             "version": FORMAT_VERSION,
+            "codec": getattr(snapshot.embedder, "codec", "full64"),
             "n_sets": len(sids),
             "n_bits": snapshot.n_bits,
             "scan_pages": snapshot.scan_pages,
@@ -569,11 +575,21 @@ def open_snapshot(path, verify: bool = False) -> MappedSnapshot:
             f"{path} is not a {FORMAT_NAME} snapshot "
             f"(format={manifest.get('format')!r})"
         )
-    if manifest.get("version") != FORMAT_VERSION:
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise SnapshotFormatError(
             f"{path} has snapshot format version {manifest.get('version')}; "
-            f"this build reads {FORMAT_VERSION}"
+            f"this build reads {_SUPPORTED_VERSIONS}"
         )
+    # v1 snapshots predate the codec layer; their vector matrix is the
+    # full64 layout by construction.  Unknown tags fail loudly here so
+    # a stale reader never misinterprets packed bytes.
+    codec_tag = manifest.get("codec", "full64")
+    try:
+        codec_spec = parse_codec(codec_tag)
+    except CodecError as exc:
+        raise SnapshotFormatError(
+            f"{path} uses unsupported signature codec {codec_tag!r}: {exc}"
+        ) from exc
     with trace.span("snapshot_open", path=str(path), verify=verify) as sp:
         arrays_path = path / ARRAYS_FILE
         if not arrays_path.is_file():
@@ -591,6 +607,12 @@ def open_snapshot(path, verify: bool = False) -> MappedSnapshot:
                 f"{path / OBJECTS_FILE} fails its checksum: snapshot is corrupt"
             )
         objects = pickle.loads(objects_blob)
+        embedder_codec = getattr(objects["embedder"], "codec", "full64")
+        if parse_codec(embedder_codec).name != codec_spec.name:
+            raise SnapshotFormatError(
+                f"{path} manifest declares codec {codec_spec.name!r} but its "
+                f"embedder uses {embedder_codec!r}: snapshot is inconsistent"
+            )
         if manifest["sets_encoding"] == "pickle":
             sets_path = path / SETS_FILE
             if not sets_path.is_file():
@@ -668,4 +690,55 @@ def verify_snapshot(path) -> dict:
         "arrays_bytes": manifest["arrays_bytes"],
         "sets_encoding": manifest["sets_encoding"],
         "filters": len(manifest["filters"]),
+    }
+
+
+#: ``byte_breakdown`` group of each fixed-name array.  Bucket directory
+#: arrays (``f###_t###_*``) are grouped by prefix instead.
+_BREAKDOWN_GROUPS = {
+    "vector_matrix": "signatures",
+    "set_indptr": "verify_csr",
+    "set_data": "verify_csr",
+    "set_sizes": "verify_csr",
+    "elem_indptr": "verify_csr",
+    "elem_data": "verify_csr",
+    "str_indptr": "verify_csr",
+    "str_data": "verify_csr",
+    "fallback_array": "verify_csr",
+    "sid_array": "other",
+    "fetch_random": "other",
+    "fetch_seq": "other",
+}
+
+
+def byte_breakdown(manifest: dict) -> dict:
+    """Per-group byte accounting of a snapshot's mapped arrays.
+
+    Groups the manifest's array specs into the buckets that matter for
+    capacity planning -- the packed signature matrix (what the codec
+    compresses), the CSR verify arrays (exact columnar verification),
+    and the bucket directories (filter tables) -- and derives
+    bytes-per-set figures.  Pure manifest arithmetic; nothing is
+    mapped or read.
+    """
+    groups = {"signatures": 0, "verify_csr": 0, "buckets": 0, "other": 0}
+    for name, spec in manifest["arrays"].items():
+        group = _BREAKDOWN_GROUPS.get(name)
+        if group is None:
+            group = "buckets" if name.startswith("f") and "_t" in name else "other"
+        groups[group] += int(spec["nbytes"])
+    n_sets = int(manifest["n_sets"])
+    total = int(manifest["arrays_bytes"])
+    # Alignment padding between arrays is real file bytes; charge it to
+    # "other" so the groups partition the total exactly.
+    groups["other"] += total - sum(groups.values())
+    return {
+        "codec": manifest.get("codec", "full64"),
+        "n_sets": n_sets,
+        "total_bytes": total,
+        "groups": groups,
+        "bytes_per_set": total / n_sets if n_sets else 0.0,
+        "signature_bytes_per_set": (
+            groups["signatures"] / n_sets if n_sets else 0.0
+        ),
     }

@@ -311,8 +311,6 @@ class IndexSnapshot:
     ) -> int:
         """Hamming-estimated in-range pair count (EXPLAIN aggregate);
         wall-clock only, mirroring the live ``est_in_range``."""
-        from repro.hamming.distance import hamming_distance_pairs
-
         if matrix is None or not rows:
             return 0
         row_of_query = {i: row for row, i in enumerate(rows)}
@@ -327,12 +325,9 @@ class IndexSnapshot:
                 c_rows.append(self.row_of[sid])
         if not q_rows:
             return 0
-        dists = hamming_distance_pairs(
+        vals = self.embedder.estimate_pairs(
             matrix[q_rows], self.vector_matrix[c_rows]
         )
-        sims = 1.0 - dists / self.embedder.dimension
-        collide = 2.0 ** (-self.embedder.b)
-        vals = np.clip((2.0 * sims - 1.0 - collide) / (1.0 - collide), 0.0, 1.0)
         return int(((sigma_low <= vals) & (vals <= sigma_high)).sum())
 
     def __repr__(self) -> str:

@@ -35,6 +35,12 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     ``bits`` may be 1-d (a single vector of ``n`` bits, returning shape
     ``(n_words(n),)``) or 2-d (``N`` vectors of ``n`` bits each,
     returning shape ``(N, n_words(n))``).
+
+    Padding guarantee: for widths that are not a multiple of 64, the
+    unused high bits of the tail word are **zero**.  Masked-popcount
+    kernels (:mod:`repro.hamming.distance`, including the b-bit slot
+    variants) and :func:`complement` rely on this -- padding cancels
+    under XOR only because every producer zeroes it.
     """
     bits = np.asarray(bits)
     if bits.ndim not in (1, 2):
@@ -49,6 +55,11 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     shifts = np.arange(WORD_BITS, dtype=np.uint64)
     grouped = padded.reshape(bits.shape[0], width, WORD_BITS)
     words = np.bitwise_or.reduce(grouped << shifts, axis=2)
+    tail = n % WORD_BITS
+    if tail:
+        assert not np.any(
+            words[..., -1] >> np.uint64(tail)
+        ), "pack_bits tail-word padding must be zero"
     return words[0] if single else words
 
 

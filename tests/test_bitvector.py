@@ -187,3 +187,50 @@ class TestGetSetBit:
         words = pack_bits(np.zeros(200, dtype=np.uint8))
         set_bit(words, position, value)
         assert get_bit(words, position) == value
+
+
+#: Widths that are deliberately *not* multiples of the word size, so
+#: every packed row carries a partially-used tail word.
+odd_width_bit_arrays = st.integers(min_value=1, max_value=300).filter(
+    lambda n: n % WORD_BITS != 0
+).flatmap(lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n))
+
+
+class TestTailWordPadding:
+    """pack_bits' documented guarantee: padding bits are always zero.
+
+    The slot kernels and the b-bit codec rely on this -- garbage above
+    bit ``n % 64`` of the tail word would survive XOR and corrupt
+    popcounts, so the contract is tested explicitly rather than only
+    via popcount invariants.
+    """
+
+    @given(odd_width_bit_arrays)
+    @settings(max_examples=50)
+    def test_roundtrip_at_odd_widths(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(arr), len(bits)), arr)
+
+    @given(odd_width_bit_arrays)
+    @settings(max_examples=50)
+    def test_tail_word_high_bits_are_zero(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        words = pack_bits(arr)
+        tail = len(bits) % WORD_BITS
+        assert int(words[-1]) >> tail == 0
+
+    @given(bit_matrices)
+    @settings(max_examples=30)
+    def test_matrix_tail_words_are_zero(self, rows):
+        arr = np.array(rows, dtype=np.uint8)
+        tail = arr.shape[1] % WORD_BITS
+        if tail == 0:
+            return
+        words = pack_bits(arr)
+        assert not np.any(words[:, -1] >> np.uint64(tail))
+
+    def test_all_ones_tail(self):
+        """Worst case for stray bits: every valid bit set."""
+        for width in (1, 63, 65, 127, 129, 200):
+            words = pack_bits(np.ones(width, dtype=np.uint8))
+            assert int(np.bitwise_count(words).sum()) == width

@@ -1,0 +1,212 @@
+"""Codec format compatibility: old snapshots open, bad tags fail loudly.
+
+The compressed-signature codecs bumped the snapshot manifest to
+version 2 (adds the ``codec`` tag) and the shard manifest to version 3
+(adds ``build.codec`` and ``routing.sig_scheme``).  These tests pin
+the promises that bump made:
+
+* pre-codec images -- snapshot v1, shard manifest v2, pickles without
+  a ``codec`` attribute -- still open and answer identically, treated
+  as ``full64``;
+* an unknown codec tag raises a typed ``SnapshotFormatError`` instead
+  of silently mis-decoding signature bytes;
+* a manifest/embedder codec disagreement (a doctored or mixed-up
+  directory) is rejected the same way.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.index import SetSimilarityIndex
+from repro.data.generators import planted_clusters
+from repro.exec import (
+    ParallelExecutor,
+    ShardedExecutor,
+    SnapshotFormatError,
+    open_sharded,
+    open_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
+from repro.exec.shard import SHARD_MANIFEST_FILE, build_sharded, verify_sharded
+from repro.exec.snapfile import MANIFEST_FILE, byte_breakdown
+
+RANGE = (0.4, 1.0)
+
+
+def _sets(seed=3):
+    return planted_clusters(
+        n_clusters=5, per_cluster=6, base_size=18, universe=900,
+        mutation_rate=0.2, seed=seed,
+    )
+
+
+def _build(sets, codec="full64", k=24):
+    return SetSimilarityIndex.build(
+        sets, budget=30, recall_target=0.8, k=k, b=4, seed=3,
+        sample_pairs=2_000, codec=codec,
+    )
+
+
+def _save(index, path):
+    snapshot = index.freeze()
+    try:
+        save_snapshot(snapshot, path)
+    finally:
+        index.thaw()
+
+
+def _edit_manifest(path, mutate):
+    manifest = json.loads((path / MANIFEST_FILE).read_text())
+    mutate(manifest)
+    (path / MANIFEST_FILE).write_text(json.dumps(manifest))
+
+
+def _assert_batches_identical(got, want):
+    for g, w in zip(got.results, want.results):
+        assert g.answers == w.answers
+        assert g.candidates == w.candidates
+
+
+class TestSnapshotCompat:
+    def test_manifest_records_codec(self, tmp_path):
+        sets = _sets()
+        _save(_build(sets, codec="bbit:2"), tmp_path / "snap")
+        manifest = json.loads((tmp_path / "snap" / MANIFEST_FILE).read_text())
+        assert manifest["version"] == 2
+        assert manifest["codec"] == "bbit:2"
+
+    def test_v1_manifest_without_codec_opens_as_full64(self, tmp_path):
+        """A pre-codec snapshot (v1, no codec key) must behave unchanged."""
+        sets = _sets()
+        index = _build(sets)
+        _save(index, tmp_path / "snap")
+
+        def to_v1(manifest):
+            manifest["version"] = 1
+            del manifest["codec"]
+
+        _edit_manifest(tmp_path / "snap", to_v1)
+        mapped = open_snapshot(tmp_path / "snap")
+        assert mapped.embedder.codec == "full64"
+        verify_snapshot(tmp_path / "snap")
+        queries = [sets[0], sets[7], sets[19]]
+        want = index.query_batch(queries, *RANGE)
+        with ParallelExecutor(mapped, workers=2) as ex:
+            _assert_batches_identical(ex.query_batch(queries, *RANGE), want)
+
+    @pytest.mark.parametrize("codec", ["full64", "bbit:2", "superminhash"])
+    def test_roundtrip_answers_identical(self, tmp_path, codec):
+        sets = _sets()
+        index = _build(sets, codec=codec)
+        _save(index, tmp_path / "snap")
+        queries = [sets[0], sets[11]]
+        want = index.query_batch(queries, *RANGE)
+        with ParallelExecutor(open_snapshot(tmp_path / "snap"), workers=2) as ex:
+            _assert_batches_identical(ex.query_batch(queries, *RANGE), want)
+
+    def test_unknown_codec_tag_fails_loudly(self, tmp_path):
+        sets = _sets()
+        _save(_build(sets), tmp_path / "snap")
+        _edit_manifest(
+            tmp_path / "snap", lambda m: m.update(codec="zstd")
+        )
+        with pytest.raises(SnapshotFormatError, match="zstd"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_manifest_embedder_codec_mismatch_fails(self, tmp_path):
+        """A doctored manifest must not silently re-tag signature bytes."""
+        sets = _sets()
+        _save(_build(sets), tmp_path / "snap")
+        _edit_manifest(
+            tmp_path / "snap", lambda m: m.update(codec="bbit:2")
+        )
+        with pytest.raises(SnapshotFormatError, match="codec"):
+            open_snapshot(tmp_path / "snap")
+
+    def test_byte_breakdown_accounting(self, tmp_path):
+        """Groups partition the total; bbit shrinks only signatures."""
+        sets = _sets()
+        k = 32  # multiple of every slots-per-word
+        _save(_build(sets, codec="full64", k=k), tmp_path / "full")
+        _save(_build(sets, codec="bbit:2", k=k), tmp_path / "bbit")
+        full = byte_breakdown(
+            json.loads((tmp_path / "full" / MANIFEST_FILE).read_text())
+        )
+        bbit = byte_breakdown(
+            json.loads((tmp_path / "bbit" / MANIFEST_FILE).read_text())
+        )
+        for report in (full, bbit):
+            assert sum(report["groups"].values()) == report["total_bytes"]
+            assert report["n_sets"] == len(sets)
+        assert full["codec"] == "full64" and bbit["codec"] == "bbit:2"
+        # m=16 bits/slot at b=4 vs 2 bits/slot: 8x smaller signatures.
+        assert (
+            full["groups"]["signatures"] == 8 * bbit["groups"]["signatures"]
+        )
+        assert bbit["groups"]["verify_csr"] == full["groups"]["verify_csr"]
+        assert bbit["signature_bytes_per_set"] == 2 * k // 8
+
+
+class TestShardCompat:
+    def _build_sharded(self, tmp_path, sets, codec="full64"):
+        return build_sharded(
+            sets, tmp_path / "s", n_shards=2, k=16, b=4, seed=8,
+            budget=16, sample_pairs=500, codec=codec,
+        )
+
+    def test_manifest_records_codec_and_scheme(self, tmp_path):
+        sets = _sets(seed=8)
+        manifest = self._build_sharded(tmp_path, sets, codec="bbit:2")
+        assert manifest["version"] == 3
+        assert manifest["build"]["codec"] == "bbit:2"
+        assert manifest["routing"]["sig_scheme"] == "minhash"
+
+    def test_v2_manifest_without_codec_opens_as_full64(self, tmp_path):
+        """Pre-codec shard directories (manifest v2) answer unchanged."""
+        sets = _sets(seed=8)
+        self._build_sharded(tmp_path, sets)
+        queries = [sets[0], sets[13]]
+        with ShardedExecutor(open_sharded(tmp_path / "s")) as ex:
+            want = ex.query_batch(queries, *RANGE)
+
+        manifest_path = tmp_path / "s" / SHARD_MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 2
+        del manifest["build"]["codec"]
+        if manifest.get("routing"):
+            del manifest["routing"]["sig_scheme"]
+        manifest_path.write_text(json.dumps(manifest))
+
+        verify_sharded(tmp_path / "s")
+        sharded = open_sharded(tmp_path / "s")
+        if sharded.routing is not None:
+            assert sharded.routing.sig_scheme == "minhash"
+        with ShardedExecutor(sharded) as ex:
+            _assert_batches_identical(ex.query_batch(queries, *RANGE), want)
+
+    def test_unknown_build_codec_fails_loudly(self, tmp_path):
+        sets = _sets(seed=8)
+        self._build_sharded(tmp_path, sets)
+        manifest_path = tmp_path / "s" / SHARD_MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["build"]["codec"] = "zstd"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotFormatError, match="zstd"):
+            open_sharded(tmp_path / "s")
+
+    def test_codec_round_trip_through_shards(self, tmp_path):
+        """Compressed shards answer with exact (verified) similarities."""
+        sets = _sets(seed=8)
+        self._build_sharded(tmp_path, sets, codec="superminhash+bbit:2")
+        sharded = open_sharded(tmp_path / "s")
+        assert sharded.manifest["build"]["codec"] == "superminhash+bbit:2"
+        with ShardedExecutor(sharded) as ex:
+            batch = ex.query_batch([sets[0]], *RANGE)
+        answers = batch.results[0].answers
+        assert answers
+        for _, sim in answers:
+            assert RANGE[0] <= sim <= RANGE[1]
